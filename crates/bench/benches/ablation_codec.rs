@@ -1,0 +1,55 @@
+//! ABL-CODEC — compression codec sweep over the three payload shapes
+//! scientific shards actually contain: near-incompressible float fields,
+//! monotone timestamps, and sparse masks.
+//!
+//! The paper (§2.2) notes science data demands full 32/64-bit precision —
+//! which is why general-purpose compression often loses to `raw` on float
+//! payloads while structured codecs win big on indices and masks. This
+//! bench produces that crossover table.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drai_bench::{mask_bytes, science_f32, timestamps_u64};
+use drai_io::codec::{codec_for, CodecId};
+
+fn bench_codecs(c: &mut Criterion) {
+    let n = 256 * 1024;
+    let payloads: Vec<(&str, Vec<u8>, CodecId)> = vec![
+        ("float-field", science_f32(n / 4, 1), CodecId::Delta { width: 4 }),
+        ("timestamps", timestamps_u64(n / 8, 2), CodecId::Delta { width: 8 }),
+        ("mask", mask_bytes(n, 3), CodecId::Rle),
+    ];
+
+    let mut group = c.benchmark_group("ablation_codec");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+
+    eprintln!("\n[ablation_codec] compression ratios (encoded/original):");
+    for (name, data, structured) in &payloads {
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        let mut ids = vec![CodecId::Raw, CodecId::Rle, *structured, CodecId::Lz];
+        ids.dedup();
+        for id in ids {
+            let codec = codec_for(id);
+            group.bench_function(
+                BenchmarkId::new(format!("encode-{name}"), codec.id().name()),
+                |b| b.iter(|| codec.encode(data)),
+            );
+            let encoded = codec.encode(data);
+            group.bench_function(
+                BenchmarkId::new(format!("decode-{name}"), codec.id().name()),
+                |b| b.iter(|| codec.decode(&encoded).unwrap()),
+            );
+            eprintln!(
+                "  {name:<12} {:<8} {:>6.3}",
+                codec.id().name(),
+                encoded.len() as f64 / data.len() as f64
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

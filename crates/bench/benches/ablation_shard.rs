@@ -1,0 +1,167 @@
+//! ABL-SHARD — shard-size × format sweep.
+//!
+//! §2.1 motivates "sharded storage in binary formats such as HDF5, ADIOS,
+//! or TFRecords" for scalable ingestion. This bench quantifies the two
+//! design choices: target shard size (too small → per-file overhead
+//! dominates; too large → no parallelism) and container format
+//! (NPZ/TFRecord/h5lite/BP) at fixed payload.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drai_bench::records;
+use drai_formats::bp::{BpVar, BpWriter, ProcessGroup};
+use drai_formats::h5lite::{Dataset as H5Dataset, H5File};
+use drai_formats::tfrecord::write_records;
+use drai_formats::zip::{write_zip, ZipEntry};
+use drai_io::shard::{ShardReader, ShardSpec, ShardWriter};
+use drai_io::sink::MemSink;
+use drai_tensor::{DType, Tensor};
+
+fn bench_shard_size(c: &mut Criterion) {
+    let recs = records(2_000, 8 * 1024, 9); // 16 MiB payload
+    let payload: u64 = recs.iter().map(|r| r.len() as u64).sum();
+
+    let mut group = c.benchmark_group("ablation_shard_size");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Bytes(payload));
+    for shard_kib in [64usize, 512, 4096, 16_384] {
+        group.bench_function(BenchmarkId::new("write", format!("{shard_kib}KiB")), |b| {
+            b.iter(|| {
+                let sink = MemSink::new();
+                ShardWriter::new(ShardSpec::new("s", shard_kib * 1024), &sink)
+                    .write_all(&recs)
+                    .unwrap()
+            })
+        });
+        // Read path at the same size.
+        let sink = MemSink::new();
+        ShardWriter::new(ShardSpec::new("s", shard_kib * 1024), &sink)
+            .write_all(&recs)
+            .unwrap();
+        group.bench_function(BenchmarkId::new("read", format!("{shard_kib}KiB")), |b| {
+            b.iter(|| {
+                let reader = ShardReader::open("s", &sink).unwrap();
+                reader.read_all().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_formats(c: &mut Criterion) {
+    // Same logical payload — 256 records of 64×64 f32 — through each
+    // container format's write path.
+    let tensors: Vec<Tensor<f32>> = (0..256)
+        .map(|i| Tensor::from_fn(&[64, 64], move |k| (i * k) as f32 * 0.001))
+        .collect();
+    let payload: u64 = tensors.iter().map(|t| (t.len() * 4) as u64).sum();
+
+    let mut group = c.benchmark_group("ablation_format");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Bytes(payload));
+
+    group.bench_function("npz", |b| {
+        b.iter(|| {
+            let entries: Vec<ZipEntry> = tensors
+                .iter()
+                .enumerate()
+                .map(|(i, t)| ZipEntry {
+                    name: format!("r{i}.npy"),
+                    data: drai_formats::npy::write_npy(t),
+                })
+                .collect();
+            write_zip(&entries)
+        })
+    });
+
+    group.bench_function("tfrecord", |b| {
+        b.iter(|| {
+            write_records(tensors.iter().map(|t| {
+                drai_formats::example::Example::new()
+                    .with_floats("x", t.as_slice().to_vec())
+                    .encode()
+            }))
+        })
+    });
+
+    group.bench_function("h5lite", |b| {
+        b.iter(|| {
+            let mut f = H5File::new();
+            for (i, t) in tensors.iter().enumerate() {
+                f.put_dataset(&format!("/r{i}"), H5Dataset::from_tensor(t, 16))
+                    .unwrap();
+            }
+            f.to_bytes()
+        })
+    });
+
+    group.bench_function("bp", |b| {
+        b.iter(|| {
+            let mut w = BpWriter::new();
+            for (i, t) in tensors.iter().enumerate() {
+                w.append(&ProcessGroup {
+                    name: format!("r{i}"),
+                    step: i as u64,
+                    vars: vec![BpVar::from_tensor("x", t)],
+                });
+            }
+            w.finish()
+        })
+    });
+
+    // Size comparison, printed once (criterion measures time, the table
+    // needs bytes too).
+    let npz_size = {
+        let entries: Vec<ZipEntry> = tensors
+            .iter()
+            .enumerate()
+            .map(|(i, t)| ZipEntry {
+                name: format!("r{i}.npy"),
+                data: drai_formats::npy::write_npy(t),
+            })
+            .collect();
+        write_zip(&entries).len()
+    };
+    let tfr_size = write_records(tensors.iter().map(|t| {
+        drai_formats::example::Example::new()
+            .with_floats("x", t.as_slice().to_vec())
+            .encode()
+    }))
+    .len();
+    let h5_size = {
+        let mut f = H5File::new();
+        for (i, t) in tensors.iter().enumerate() {
+            f.put_dataset(&format!("/r{i}"), H5Dataset::from_tensor(t, 16))
+                .unwrap();
+        }
+        f.to_bytes().len()
+    };
+    let bp_size = {
+        let mut w = BpWriter::new();
+        for (i, t) in tensors.iter().enumerate() {
+            w.append(&ProcessGroup {
+                name: format!("r{i}"),
+                step: i as u64,
+                vars: vec![BpVar::from_tensor("x", t)],
+            });
+        }
+        w.finish().len()
+    };
+    eprintln!(
+        "\n[ablation_format] container sizes for {payload} payload bytes (dtype {}):",
+        DType::F32
+    );
+    eprintln!("  npz      {npz_size:>10}");
+    eprintln!("  tfrecord {tfr_size:>10}");
+    eprintln!("  h5lite   {h5_size:>10}");
+    eprintln!("  bp       {bp_size:>10}");
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_size, bench_formats);
+criterion_main!(benches);

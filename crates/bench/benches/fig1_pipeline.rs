@@ -1,0 +1,109 @@
+//! FIG1 — Figure 1's generic raw→AI-ready steps, benchmarked per step.
+//!
+//! The paper's Figure 1 names the canonical sequence: handle missing
+//! values → normalize → label → feature-engineer → split → shard. This
+//! bench measures each step's throughput on the same synthetic
+//! multivariate tabular workload, producing the per-stage cost profile
+//! the figure implies but never quantifies.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drai_bench::tabular;
+use drai_io::shard::{ShardSpec, ShardWriter};
+use drai_io::sink::MemSink;
+use drai_transform::features::rolling_mean;
+use drai_transform::impute::{impute, Strategy};
+use drai_transform::label::threshold_labels;
+use drai_transform::normalize::{ColumnNormalizer, Method};
+use drai_transform::split::{assign, Fractions};
+
+const COLS: usize = 16;
+
+fn bench_steps(c: &mut Criterion) {
+    let rows = 50_000;
+    let raw = tabular(rows, COLS, 0.05, 42);
+    let bytes = (raw.len() * 8) as u64;
+
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Bytes(bytes));
+
+    group.bench_function(BenchmarkId::new("step", "clean-impute"), |b| {
+        b.iter_batched(
+            || raw.clone(),
+            |mut data| {
+                impute(&mut data, Strategy::Median).unwrap();
+                data
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    // Pre-impute once for the downstream steps.
+    let mut clean = raw.clone();
+    impute(&mut clean, Strategy::Median).unwrap();
+
+    group.bench_function(BenchmarkId::new("step", "normalize"), |b| {
+        b.iter_batched(
+            || clean.clone(),
+            |mut data| {
+                let cn = ColumnNormalizer::fit(Method::ZScore, &data, COLS).unwrap();
+                cn.apply(&mut data).unwrap();
+                data
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    let col0: Vec<f64> = clean.iter().step_by(COLS).copied().collect();
+    group.bench_function(BenchmarkId::new("step", "label"), |b| {
+        b.iter(|| threshold_labels(&col0, 1.5))
+    });
+
+    group.bench_function(BenchmarkId::new("step", "feature-engineer"), |b| {
+        b.iter(|| {
+            let mut features = Vec::with_capacity(COLS);
+            for ci in 0..COLS {
+                let col: Vec<f64> = clean.iter().skip(ci).step_by(COLS).copied().collect();
+                features.push(rolling_mean(&col, 9).unwrap());
+            }
+            features
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("step", "split"), |b| {
+        b.iter(|| {
+            let f = Fractions::standard();
+            (0..rows)
+                .map(|r| assign(&format!("row-{r}"), 7, f).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+
+    // Shard: rows become fixed-size records.
+    let records: Vec<Vec<u8>> = clean
+        .chunks(COLS)
+        .map(|row| {
+            let mut rec = Vec::with_capacity(COLS * 8);
+            for v in row {
+                rec.extend_from_slice(&v.to_le_bytes());
+            }
+            rec
+        })
+        .collect();
+    group.bench_function(BenchmarkId::new("step", "shard"), |b| {
+        b.iter(|| {
+            let sink = MemSink::new();
+            ShardWriter::new(ShardSpec::new("fig1", 1 << 20), &sink)
+                .write_all(&records)
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

@@ -1,0 +1,245 @@
+//! Dataset cards — the paper's §5 "Data Quality, Bias, and Fairness"
+//! remedy ("Datasheets for Datasets or Data Cards can help identify
+//! potential biases"), generated from a manifest + quality reports +
+//! assessment.
+
+use crate::assess::Assessment;
+use crate::dataset::DatasetManifest;
+use crate::quality::QualityReport;
+use drai_io::json::Json;
+
+/// A generated dataset card.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetCard {
+    /// Manifest snapshot.
+    pub manifest: DatasetManifest,
+    /// Overall + per-stage readiness at generation time.
+    pub assessment: Assessment,
+    /// Per-variable quality reports.
+    pub quality: Vec<QualityReport>,
+}
+
+impl DatasetCard {
+    /// Assemble a card.
+    pub fn new(
+        manifest: DatasetManifest,
+        assessment: Assessment,
+        quality: Vec<QualityReport>,
+    ) -> DatasetCard {
+        DatasetCard {
+            manifest,
+            assessment,
+            quality,
+        }
+    }
+
+    /// Bias warnings derived from the quality reports: imbalance,
+    /// missingness, outlier contamination.
+    pub fn warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for q in &self.quality {
+            if q.imbalance_ratio > 3.0 {
+                out.push(format!(
+                    "{}: distribution imbalance ratio {:.1} — consider reweighting/resampling",
+                    q.name, q.imbalance_ratio
+                ));
+            }
+            if q.missing_fraction > 0.05 {
+                out.push(format!(
+                    "{}: {:.1}% missing — imputation strategy should be documented",
+                    q.name,
+                    q.missing_fraction * 100.0
+                ));
+            }
+            if q.outlier_fraction > 0.01 {
+                out.push(format!(
+                    "{}: {:.2}% gross outliers (|z| > 5) — check sensor glitches",
+                    q.name,
+                    q.outlier_fraction * 100.0
+                ));
+            }
+        }
+        if self.manifest.requires_anonymization && !self.manifest.anonymized {
+            out.push("dataset contains PHI/PII but is NOT anonymized — do not release".into());
+        }
+        if self.manifest.label_coverage < 1.0 {
+            out.push(format!(
+                "label coverage {:.0}% — consider pseudo-labeling for the remainder",
+                self.manifest.label_coverage * 100.0
+            ));
+        }
+        out
+    }
+
+    /// Render as Markdown (the human-facing datasheet).
+    pub fn to_markdown(&self) -> String {
+        let m = &self.manifest;
+        let mut md = String::new();
+        md.push_str(&format!("# Dataset card: {}\n\n", m.name));
+        md.push_str(&format!(
+            "- **Domain:** {}\n- **Modality:** {}\n- **Records:** {}\n- **Readiness:** {}\n\n",
+            m.domain,
+            m.modality.name(),
+            m.records,
+            self.assessment.overall
+        ));
+        md.push_str("## Schema\n\n| Variable | dtype | unit | shape |\n|---|---|---|---|\n");
+        for v in &m.schema {
+            md.push_str(&format!(
+                "| {} | {} | {} | {:?} |\n",
+                v.name, v.dtype, v.unit, v.shape
+            ));
+        }
+        md.push_str("\n## Readiness per stage\n\n| Stage | Level |\n|---|---|\n");
+        for (stage, level) in &self.assessment.per_stage {
+            md.push_str(&format!("| {} | {} |\n", stage.label(), level));
+        }
+        if let Some(d) = self.assessment.blocking() {
+            md.push_str(&format!(
+                "\n**Blocked from {} by {}:** {}\n",
+                d.blocked_level,
+                d.stage.label(),
+                d.reason
+            ));
+        }
+        md.push_str("\n## Quality\n\n| Variable | missing | mean | std | outliers | imbalance |\n|---|---|---|---|---|---|\n");
+        for q in &self.quality {
+            md.push_str(&format!(
+                "| {} | {:.2}% | {:.4} | {:.4} | {:.2}% | {:.2} |\n",
+                q.name,
+                q.missing_fraction * 100.0,
+                q.mean,
+                q.std,
+                q.outlier_fraction * 100.0,
+                q.imbalance_ratio
+            ));
+        }
+        let warnings = self.warnings();
+        if !warnings.is_empty() {
+            md.push_str("\n## Warnings\n\n");
+            for w in &warnings {
+                md.push_str(&format!("- ⚠ {w}\n"));
+            }
+        }
+        md
+    }
+
+    /// Render as JSON (the machine-facing card).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("manifest", self.manifest.to_json()),
+            (
+                "readiness",
+                Json::obj([
+                    (
+                        "overall",
+                        Json::from(self.assessment.overall.to_string()),
+                    ),
+                    (
+                        "per_stage",
+                        Json::Arr(
+                            self.assessment
+                                .per_stage
+                                .iter()
+                                .map(|(s, l)| {
+                                    Json::obj([
+                                        ("stage", Json::from(s.label())),
+                                        ("level", Json::from(l.number() as u64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "quality",
+                Json::Arr(self.quality.iter().map(|q| q.to_json()).collect()),
+            ),
+            (
+                "warnings",
+                Json::Arr(self.warnings().into_iter().map(Json::from).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assess::ReadinessAssessor;
+    use crate::dataset::{Modality, VariableSpec};
+
+    fn sample_card() -> DatasetCard {
+        let mut m = DatasetManifest::raw("card-test", "fusion", Modality::TimeSeries, 500);
+        m.standard_format = true;
+        m.ingest_validated = true;
+        m.aligned_initial = true;
+        m.schema.push(VariableSpec {
+            name: "ip".into(),
+            dtype: drai_tensor::DType::F32,
+            unit: "MA".into(),
+            shape: vec![64],
+        });
+        m.label_coverage = 0.6;
+        let assessment = ReadinessAssessor::new().assess(&m).unwrap();
+        let good = QualityReport::compute("ip", &(0..100).map(|i| i as f64).collect::<Vec<_>>());
+        let mut skewed_vals = vec![0.5; 950];
+        skewed_vals.extend((0..50).map(|i| i as f64));
+        skewed_vals.push(f64::NAN);
+        let skewed = QualityReport::compute("vloop", &skewed_vals);
+        DatasetCard::new(m, assessment, vec![good, skewed])
+    }
+
+    #[test]
+    fn warnings_catch_imbalance_and_labels() {
+        let card = sample_card();
+        let warnings = card.warnings();
+        assert!(warnings.iter().any(|w| w.contains("imbalance")), "{warnings:?}");
+        assert!(warnings.iter().any(|w| w.contains("label coverage")), "{warnings:?}");
+    }
+
+    #[test]
+    fn phi_warning_when_not_anonymized() {
+        let mut card = sample_card();
+        card.manifest.requires_anonymization = true;
+        card.manifest.anonymized = false;
+        assert!(card.warnings().iter().any(|w| w.contains("NOT anonymized")));
+        card.manifest.anonymized = true;
+        assert!(!card.warnings().iter().any(|w| w.contains("NOT anonymized")));
+    }
+
+    #[test]
+    fn markdown_contains_sections() {
+        let md = sample_card().to_markdown();
+        assert!(md.contains("# Dataset card: card-test"));
+        assert!(md.contains("## Schema"));
+        assert!(md.contains("| ip | f32 | MA |"));
+        assert!(md.contains("## Readiness per stage"));
+        assert!(md.contains("**Blocked from"));
+        assert!(md.contains("## Warnings"));
+    }
+
+    #[test]
+    fn json_card_parses() {
+        let card = sample_card();
+        let text = card.to_json().to_string_compact();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("manifest").unwrap().get("name").unwrap().as_str(),
+            Some("card-test")
+        );
+        assert!(parsed.get("warnings").unwrap().as_arr().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn clean_dataset_no_warnings() {
+        let mut m = DatasetManifest::raw("clean", "demo", Modality::Tabular, 10);
+        m.label_coverage = 1.0;
+        // Manifest at level 1 is fine for card purposes.
+        let assessment = ReadinessAssessor::new().assess(&m).unwrap();
+        let q = QualityReport::compute("x", &(0..100).map(|i| (i % 10) as f64).collect::<Vec<_>>());
+        let card = DatasetCard::new(m, assessment, vec![q]);
+        assert!(card.warnings().is_empty(), "{:?}", card.warnings());
+    }
+}

@@ -1,0 +1,72 @@
+//! # drai-core
+//!
+//! The paper's primary contribution — the two-dimensional Data Readiness
+//! for AI (DRAI) framework — made executable:
+//!
+//! * [`readiness`] — the five **Data Readiness Levels** (raw → fully
+//!   AI-ready), the five **Data Processing Stages** (ingest → shard), and
+//!   the [`readiness::MaturityMatrix`] that reproduces the paper's Table 2
+//!   including its N/A cells.
+//! * [`dataset`] — [`dataset::DatasetManifest`]: the evidence record a
+//!   dataset carries about what preparation it has undergone (modality,
+//!   schema, quality, per-stage capability flags).
+//! * [`assess`] — [`assess::ReadinessAssessor`]: derives a dataset's
+//!   readiness level per processing stage from its manifest, per the
+//!   criteria of Table 2. Readiness is *assessed from evidence*, not
+//!   declared — the operational teeth the paper calls for.
+//! * [`quality`] — data-quality reporting (missing fraction, imbalance,
+//!   outliers) feeding the assessor.
+//! * [`pipeline`] — a typed stage-graph execution engine with per-stage
+//!   metrics, rayon batch execution, and the iterative
+//!   prepare→evaluate→refine loop of Figure 1.
+//! * [`metrics`] — throughput/latency accounting shared with the bench
+//!   harness.
+
+pub mod assess;
+pub mod card;
+pub mod dataset;
+pub mod metrics;
+pub mod pipeline;
+pub mod quality;
+pub mod readiness;
+pub mod templates;
+
+pub use assess::{Assessment, ReadinessAssessor};
+pub use dataset::{DatasetManifest, Modality, VariableSpec};
+pub use pipeline::{Pipeline, PipelineBuilder, PipelineRun, StageMetrics};
+pub use readiness::{MaturityMatrix, ProcessingStage, ReadinessLevel};
+pub use templates::DomainTemplate;
+
+/// Errors from the core framework.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A pipeline stage failed.
+    Stage {
+        /// Stage name.
+        stage: String,
+        /// Failure description.
+        message: String,
+    },
+    /// Manifest evidence is inconsistent.
+    InvalidManifest(String),
+    /// Propagated I/O failure.
+    Io(drai_io::IoError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Stage { stage, message } => write!(f, "stage {stage:?} failed: {message}"),
+            CoreError::InvalidManifest(msg) => write!(f, "invalid manifest: {msg}"),
+            CoreError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<drai_io::IoError> for CoreError {
+    fn from(e: drai_io::IoError) -> Self {
+        CoreError::Io(e)
+    }
+}

@@ -1,0 +1,419 @@
+//! The pipeline execution engine: named stages over a shared artifact
+//! type, per-stage metrics, rayon batch execution, and the iterative
+//! refinement loop of Figure 1 ("data preparation outcomes inform
+//! subsequent model training, and model performance provides feedback").
+
+use crate::metrics::Throughput;
+use crate::readiness::ProcessingStage;
+use crate::CoreError;
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counters a stage can report about the work it did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageCounters {
+    /// Records consumed/produced.
+    pub records: u64,
+    /// Bytes consumed/produced.
+    pub bytes: u64,
+}
+
+type StageFn<T> = dyn Fn(T, &mut StageCounters) -> Result<T, String> + Send + Sync;
+
+/// One pipeline stage: a name, its processing-stage classification, and
+/// the transformation function.
+pub struct StageDef<T> {
+    name: String,
+    kind: ProcessingStage,
+    func: Arc<StageFn<T>>,
+}
+
+impl<T> Clone for StageDef<T> {
+    fn clone(&self) -> Self {
+        StageDef {
+            name: self.name.clone(),
+            kind: self.kind,
+            func: self.func.clone(),
+        }
+    }
+}
+
+/// Timing/volume record for one executed stage.
+#[derive(Debug, Clone)]
+pub struct StageMetrics {
+    /// Stage name.
+    pub name: String,
+    /// Stage classification (which maturity-matrix column it advances).
+    pub kind: ProcessingStage,
+    /// Work done.
+    pub throughput: Throughput,
+}
+
+/// Result of a pipeline run: the final artifact plus per-stage metrics.
+#[derive(Debug)]
+pub struct PipelineRun<T> {
+    /// Final artifact.
+    pub output: T,
+    /// Metrics per executed stage, in order.
+    pub stages: Vec<StageMetrics>,
+}
+
+impl<T> PipelineRun<T> {
+    /// Total wall time across stages.
+    pub fn total_elapsed(&self) -> std::time::Duration {
+        self.stages.iter().map(|s| s.throughput.elapsed).sum()
+    }
+
+    /// Metrics for a named stage.
+    pub fn stage(&self, name: &str) -> Option<&StageMetrics> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+}
+
+/// Builder for [`Pipeline`].
+pub struct PipelineBuilder<T> {
+    name: String,
+    stages: Vec<StageDef<T>>,
+}
+
+impl<T> PipelineBuilder<T> {
+    /// Add a stage.
+    pub fn stage(
+        mut self,
+        name: &str,
+        kind: ProcessingStage,
+        func: impl Fn(T, &mut StageCounters) -> Result<T, String> + Send + Sync + 'static,
+    ) -> Self {
+        self.stages.push(StageDef {
+            name: name.to_string(),
+            kind,
+            func: Arc::new(func),
+        });
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Pipeline<T> {
+        Pipeline {
+            name: self.name,
+            stages: self.stages,
+        }
+    }
+}
+
+/// An ordered sequence of named stages over artifact type `T`.
+///
+/// `T` is whatever the domain moves between stages — a tensor bundle, a
+/// set of shot records, file paths. Stages run in order; each failure
+/// aborts the run with the failing stage named.
+pub struct Pipeline<T> {
+    name: String,
+    stages: Vec<StageDef<T>>,
+}
+
+impl<T> Clone for Pipeline<T> {
+    fn clone(&self) -> Self {
+        Pipeline {
+            name: self.name.clone(),
+            stages: self.stages.clone(),
+        }
+    }
+}
+
+impl<T> Pipeline<T> {
+    /// Start a builder.
+    pub fn builder(name: &str) -> PipelineBuilder<T> {
+        PipelineBuilder {
+            name: name.to_string(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Pipeline name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Stage names in order.
+    pub fn stage_names(&self) -> Vec<&str> {
+        self.stages.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// The ordered processing-stage kinds (used to check a domain
+    /// pipeline covers the canonical ingest→…→shard sequence).
+    pub fn stage_kinds(&self) -> Vec<ProcessingStage> {
+        self.stages.iter().map(|s| s.kind).collect()
+    }
+
+    /// Run sequentially on one artifact.
+    pub fn run(&self, input: T) -> Result<PipelineRun<T>, CoreError> {
+        let mut current = input;
+        let mut metrics = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let start = Instant::now();
+            let mut counters = StageCounters::default();
+            current = (stage.func)(current, &mut counters).map_err(|message| {
+                CoreError::Stage {
+                    stage: stage.name.clone(),
+                    message,
+                }
+            })?;
+            metrics.push(StageMetrics {
+                name: stage.name.clone(),
+                kind: stage.kind,
+                throughput: Throughput {
+                    records: counters.records,
+                    bytes: counters.bytes,
+                    elapsed: start.elapsed(),
+                },
+            });
+        }
+        Ok(PipelineRun {
+            output: current,
+            stages: metrics,
+        })
+    }
+}
+
+impl<T: Send> Pipeline<T> {
+    /// Run the whole pipeline independently on many artifacts in
+    /// parallel (rayon). Failures abort with the first error; outputs
+    /// preserve input order. Per-item metrics are merged per stage.
+    pub fn run_batch(&self, items: Vec<T>) -> Result<(Vec<T>, Vec<StageMetrics>), CoreError> {
+        let results: Result<Vec<PipelineRun<T>>, CoreError> = items
+            .into_par_iter()
+            .map(|item| self.run(item))
+            .collect();
+        let runs = results?;
+        let mut merged: Vec<StageMetrics> = Vec::new();
+        let mut outputs = Vec::with_capacity(runs.len());
+        for run in runs {
+            if merged.is_empty() {
+                merged = run.stages.clone();
+            } else {
+                for (m, s) in merged.iter_mut().zip(&run.stages) {
+                    m.throughput = m.throughput.merge(&s.throughput);
+                }
+            }
+            outputs.push(run.output);
+        }
+        Ok((outputs, merged))
+    }
+}
+
+/// Verdict from the evaluation step of the iterative loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Feedback {
+    /// Data is good enough; stop iterating.
+    Accept,
+    /// Refine and run again (with a reason for the provenance log).
+    Refine(String),
+}
+
+/// Result of [`run_iterative`].
+#[derive(Debug)]
+pub struct IterativeRun<T> {
+    /// Final accepted artifact.
+    pub output: T,
+    /// Number of pipeline passes executed.
+    pub passes: usize,
+    /// Refinement reasons, one per non-final pass.
+    pub refinements: Vec<String>,
+    /// Whether iteration converged (true) or hit the pass limit (false).
+    pub converged: bool,
+}
+
+/// The Figure 1 feedback loop: run the pipeline, evaluate the result,
+/// refine the artifact and repeat until accepted or `max_passes`.
+///
+/// `refine` receives the evaluated artifact and the feedback reason and
+/// produces the input for the next pass (e.g. relabel low-confidence
+/// samples, add augmented data, tighten cleaning thresholds).
+pub fn run_iterative<T>(
+    pipeline: &Pipeline<T>,
+    input: T,
+    max_passes: usize,
+    mut evaluate: impl FnMut(&T) -> Feedback,
+    mut refine: impl FnMut(T, &str) -> T,
+) -> Result<IterativeRun<T>, CoreError> {
+    assert!(max_passes > 0, "need at least one pass");
+    let mut current = input;
+    let mut refinements = Vec::new();
+    for pass in 1..=max_passes {
+        let run = pipeline.run(current)?;
+        match evaluate(&run.output) {
+            Feedback::Accept => {
+                return Ok(IterativeRun {
+                    output: run.output,
+                    passes: pass,
+                    refinements,
+                    converged: true,
+                })
+            }
+            Feedback::Refine(reason) => {
+                if pass == max_passes {
+                    return Ok(IterativeRun {
+                        output: run.output,
+                        passes: pass,
+                        refinements,
+                        converged: false,
+                    });
+                }
+                current = refine(run.output, &reason);
+                refinements.push(reason);
+            }
+        }
+    }
+    unreachable!("loop returns on final pass");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::readiness::ProcessingStage as S;
+
+    fn doubling_pipeline() -> Pipeline<Vec<f64>> {
+        Pipeline::builder("test")
+            .stage("ingest", S::Ingest, |v: Vec<f64>, c| {
+                c.records = v.len() as u64;
+                Ok(v)
+            })
+            .stage("double", S::Transform, |v: Vec<f64>, c| {
+                c.records = v.len() as u64;
+                c.bytes = (v.len() * 8) as u64;
+                Ok(v.into_iter().map(|x| x * 2.0).collect())
+            })
+            .build()
+    }
+
+    #[test]
+    fn run_executes_in_order_with_metrics() {
+        let p = doubling_pipeline();
+        assert_eq!(p.stage_names(), vec!["ingest", "double"]);
+        assert_eq!(p.stage_kinds(), vec![S::Ingest, S::Transform]);
+        let run = p.run(vec![1.0, 2.0]).unwrap();
+        assert_eq!(run.output, vec![2.0, 4.0]);
+        assert_eq!(run.stages.len(), 2);
+        assert_eq!(run.stage("double").unwrap().throughput.records, 2);
+        assert_eq!(run.stage("double").unwrap().throughput.bytes, 16);
+        assert!(run.stage("missing").is_none());
+        assert!(run.total_elapsed() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn stage_failure_names_stage() {
+        let p: Pipeline<i32> = Pipeline::builder("failing")
+            .stage("ok", S::Ingest, |x, _| Ok(x))
+            .stage("boom", S::Transform, |_, _| Err("kaput".to_string()))
+            .build();
+        match p.run(1) {
+            Err(CoreError::Stage { stage, message }) => {
+                assert_eq!(stage, "boom");
+                assert_eq!(message, "kaput");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_preserves_order_and_merges_metrics() {
+        let p = doubling_pipeline();
+        let items: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let (outputs, metrics) = p.run_batch(items).unwrap();
+        assert_eq!(outputs.len(), 64);
+        for (i, out) in outputs.iter().enumerate() {
+            assert_eq!(out[0], i as f64 * 2.0);
+        }
+        // Merged double-stage counters: 64 records.
+        let double = metrics.iter().find(|m| m.name == "double").unwrap();
+        assert_eq!(double.throughput.records, 64);
+    }
+
+    #[test]
+    fn batch_propagates_errors() {
+        let p: Pipeline<i32> = Pipeline::builder("pb")
+            .stage("maybe", S::Transform, |x, _| {
+                if x == 13 {
+                    Err("unlucky".into())
+                } else {
+                    Ok(x)
+                }
+            })
+            .build();
+        assert!(p.run_batch((0..20).collect()).is_err());
+        assert!(p.run_batch(vec![1, 2, 3]).is_ok());
+    }
+
+    #[test]
+    fn iterative_converges() {
+        // Pipeline adds 1.0; accept when sum >= 5.
+        let p: Pipeline<Vec<f64>> = Pipeline::builder("iter")
+            .stage("inc", S::Transform, |v: Vec<f64>, _| {
+                Ok(v.into_iter().map(|x| x + 1.0).collect())
+            })
+            .build();
+        let result = run_iterative(
+            &p,
+            vec![0.0, 0.0],
+            100,
+            |v| {
+                if v.iter().sum::<f64>() >= 5.0 {
+                    Feedback::Accept
+                } else {
+                    Feedback::Refine("sum too low".into())
+                }
+            },
+            |v, _| v,
+        )
+        .unwrap();
+        assert!(result.converged);
+        assert_eq!(result.passes, 3); // sums 2, 4, 6
+        assert_eq!(result.refinements.len(), 2);
+    }
+
+    #[test]
+    fn iterative_hits_pass_limit() {
+        let p: Pipeline<i32> = Pipeline::builder("never")
+            .stage("id", S::Transform, |x, _| Ok(x))
+            .build();
+        let result = run_iterative(
+            &p,
+            0,
+            3,
+            |_| Feedback::Refine("never good".into()),
+            |x, _| x,
+        )
+        .unwrap();
+        assert!(!result.converged);
+        assert_eq!(result.passes, 3);
+        assert_eq!(result.refinements.len(), 2); // last pass doesn't refine
+    }
+
+    #[test]
+    fn refine_feeds_next_pass() {
+        let p: Pipeline<i32> = Pipeline::builder("r")
+            .stage("id", S::Transform, |x, _| Ok(x))
+            .build();
+        let result = run_iterative(
+            &p,
+            0,
+            10,
+            |&x| {
+                if x >= 4 {
+                    Feedback::Accept
+                } else {
+                    Feedback::Refine(format!("x={x}"))
+                }
+            },
+            |x, reason| {
+                assert!(reason.starts_with("x="));
+                x + 2
+            },
+        )
+        .unwrap();
+        assert!(result.converged);
+        assert_eq!(result.output, 4);
+        assert_eq!(result.refinements, vec!["x=0", "x=2"]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Data Readiness Levels, Data Processing Stages, and the conceptual
+//! maturity matrix of Table 2.
+
+use std::fmt;
+
+/// The five Data Readiness Levels (Table 2, rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReadinessLevel {
+    /// Level 1 — initial raw acquisition.
+    Raw,
+    /// Level 2 — validated ingestion into standard formats, initial
+    /// alignment/regridding.
+    Cleaned,
+    /// Level 3 — enriched metadata, standardized grids, initial
+    /// normalization/anonymization, basic labels.
+    Labeled,
+    /// Level 4 — optimized ingestion, finalized normalization,
+    /// comprehensive labels, domain features extracted.
+    FeatureEngineered,
+    /// Level 5 — fully automated, audited pipelines; split and sharded
+    /// into binary formats for scalable ingestion.
+    FullyAiReady,
+}
+
+impl ReadinessLevel {
+    /// All levels, lowest to highest.
+    pub const ALL: [ReadinessLevel; 5] = [
+        ReadinessLevel::Raw,
+        ReadinessLevel::Cleaned,
+        ReadinessLevel::Labeled,
+        ReadinessLevel::FeatureEngineered,
+        ReadinessLevel::FullyAiReady,
+    ];
+
+    /// 1-based numeric level as printed in the paper ("1 - Raw").
+    pub const fn number(self) -> u8 {
+        match self {
+            ReadinessLevel::Raw => 1,
+            ReadinessLevel::Cleaned => 2,
+            ReadinessLevel::Labeled => 3,
+            ReadinessLevel::FeatureEngineered => 4,
+            ReadinessLevel::FullyAiReady => 5,
+        }
+    }
+
+    /// Level from its 1-based number.
+    pub fn from_number(n: u8) -> Option<ReadinessLevel> {
+        Self::ALL.get(n.checked_sub(1)? as usize).copied()
+    }
+
+    /// Paper row label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ReadinessLevel::Raw => "Raw",
+            ReadinessLevel::Cleaned => "Cleaned",
+            ReadinessLevel::Labeled => "Labeled",
+            ReadinessLevel::FeatureEngineered => "Feature-engineered",
+            ReadinessLevel::FullyAiReady => "Fully AI-ready",
+        }
+    }
+
+    /// Next level up, if any.
+    pub fn next(self) -> Option<ReadinessLevel> {
+        Self::from_number(self.number() + 1)
+    }
+}
+
+impl fmt::Display for ReadinessLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} - {}", self.number(), self.label())
+    }
+}
+
+/// The five Data Processing Stages (Table 2, columns): the abstracted
+/// cross-domain pipeline `ingest → preprocess → transform → structure →
+/// shard` of §3.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProcessingStage {
+    /// Acquisition and validated ingestion.
+    Ingest,
+    /// Alignment, regridding, resampling, cleaning.
+    Preprocess,
+    /// Domain-specific conversions: normalization, anonymization, labels.
+    Transform,
+    /// Organizing into model-facing structures: features, tensors, graphs.
+    Structure,
+    /// Partitioning into splits and sharding to binary formats.
+    Shard,
+}
+
+impl ProcessingStage {
+    /// All stages, pipeline order.
+    pub const ALL: [ProcessingStage; 5] = [
+        ProcessingStage::Ingest,
+        ProcessingStage::Preprocess,
+        ProcessingStage::Transform,
+        ProcessingStage::Structure,
+        ProcessingStage::Shard,
+    ];
+
+    /// 0-based pipeline position.
+    pub const fn index(self) -> usize {
+        match self {
+            ProcessingStage::Ingest => 0,
+            ProcessingStage::Preprocess => 1,
+            ProcessingStage::Transform => 2,
+            ProcessingStage::Structure => 3,
+            ProcessingStage::Shard => 4,
+        }
+    }
+
+    /// Column label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ProcessingStage::Ingest => "Ingest",
+            ProcessingStage::Preprocess => "Preprocess",
+            ProcessingStage::Transform => "Transform",
+            ProcessingStage::Structure => "Structure",
+            ProcessingStage::Shard => "Shard",
+        }
+    }
+}
+
+impl fmt::Display for ProcessingStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The conceptual maturity matrix (Table 2): for each readiness level,
+/// what each processing stage looks like — with the paper's grey N/A
+/// cells where a stage is not yet applicable at that maturity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaturityMatrix;
+
+impl MaturityMatrix {
+    /// Whether a `(level, stage)` cell is applicable. In Table 2, level
+    /// *n* populates exactly the first *n* stage columns: raw data has
+    /// only ingest semantics; only fully AI-ready data has shard
+    /// semantics.
+    pub fn applicable(level: ReadinessLevel, stage: ProcessingStage) -> bool {
+        stage.index() < level.number() as usize
+    }
+
+    /// The paper's cell text for an applicable cell, `None` for N/A.
+    pub fn cell(level: ReadinessLevel, stage: ProcessingStage) -> Option<&'static str> {
+        use ProcessingStage as S;
+        use ReadinessLevel as L;
+        let text = match (level, stage) {
+            (L::Raw, S::Ingest) => "Initial raw acquisition",
+            (L::Cleaned, S::Ingest) => "Validated ingestion into standard formats",
+            (L::Cleaned, S::Preprocess) => "Initial spatial/temporal alignment or regridding",
+            (L::Labeled, S::Ingest) => "Enhanced metadata enrichment",
+            (L::Labeled, S::Preprocess) => "Refined alignment; grids standardized",
+            (L::Labeled, S::Transform) => {
+                "Initial normalization or anonymization; basic labels added"
+            }
+            (L::FeatureEngineered, S::Ingest) => "Optimized high-throughput ingestion",
+            (L::FeatureEngineered, S::Preprocess) => "Alignment fully standardized",
+            (L::FeatureEngineered, S::Transform) => {
+                "Normalization or anonymization finalized; comprehensive labeling"
+            }
+            (L::FeatureEngineered, S::Structure) => "Domain-specific feature extraction completed",
+            (L::FullyAiReady, S::Ingest) => {
+                "Ingestion pipelines fully automated and performance-optimized"
+            }
+            (L::FullyAiReady, S::Preprocess) => "Alignment integrated and automated",
+            (L::FullyAiReady, S::Transform) => {
+                "Normalization / anonymization fully automated and audited"
+            }
+            (L::FullyAiReady, S::Structure) => "Feature extraction automated and validated",
+            (L::FullyAiReady, S::Shard) => {
+                "Data partitioned into train/test/val & sharded into binary formats \
+                 for scalable ingestion"
+            }
+            _ => return None,
+        };
+        Some(text)
+    }
+
+    /// Render the full matrix as rows of `(level, [cell text or None])` —
+    /// the structure the Table 2 reproduction test and the
+    /// `readiness_report` example print.
+    pub fn rows() -> Vec<(ReadinessLevel, Vec<Option<&'static str>>)> {
+        ReadinessLevel::ALL
+            .iter()
+            .map(|&l| {
+                (
+                    l,
+                    ProcessingStage::ALL
+                        .iter()
+                        .map(|&s| Self::cell(l, s))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Count of applicable (non-N/A) cells — 15 in the paper's table
+    /// (1+2+3+4+5).
+    pub fn applicable_cell_count() -> usize {
+        ReadinessLevel::ALL
+            .iter()
+            .map(|&l| {
+                ProcessingStage::ALL
+                    .iter()
+                    .filter(|&&s| Self::applicable(l, s))
+                    .count()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_ordered_and_numbered() {
+        assert!(ReadinessLevel::Raw < ReadinessLevel::FullyAiReady);
+        for (i, l) in ReadinessLevel::ALL.iter().enumerate() {
+            assert_eq!(l.number() as usize, i + 1);
+            assert_eq!(ReadinessLevel::from_number(l.number()), Some(*l));
+        }
+        assert_eq!(ReadinessLevel::from_number(0), None);
+        assert_eq!(ReadinessLevel::from_number(6), None);
+    }
+
+    #[test]
+    fn next_walks_up() {
+        assert_eq!(ReadinessLevel::Raw.next(), Some(ReadinessLevel::Cleaned));
+        assert_eq!(ReadinessLevel::FullyAiReady.next(), None);
+        let mut l = ReadinessLevel::Raw;
+        let mut hops = 0;
+        while let Some(n) = l.next() {
+            l = n;
+            hops += 1;
+        }
+        assert_eq!(hops, 4);
+    }
+
+    #[test]
+    fn stage_order_matches_pipeline() {
+        let labels: Vec<&str> = ProcessingStage::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Ingest", "Preprocess", "Transform", "Structure", "Shard"]
+        );
+        for (i, s) in ProcessingStage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    /// Reproduces the *structure* of Table 2: which cells are populated
+    /// and which are grey/N-A.
+    #[test]
+    fn table2_na_structure() {
+        use ProcessingStage as S;
+        use ReadinessLevel as L;
+        // Row 1: only Ingest.
+        assert!(MaturityMatrix::applicable(L::Raw, S::Ingest));
+        for s in [S::Preprocess, S::Transform, S::Structure, S::Shard] {
+            assert!(!MaturityMatrix::applicable(L::Raw, s));
+            assert_eq!(MaturityMatrix::cell(L::Raw, s), None);
+        }
+        // Row 5: everything.
+        for s in S::ALL {
+            assert!(MaturityMatrix::applicable(L::FullyAiReady, s));
+            assert!(MaturityMatrix::cell(L::FullyAiReady, s).is_some());
+        }
+        // Shard appears only at level 5.
+        for l in [L::Raw, L::Cleaned, L::Labeled, L::FeatureEngineered] {
+            assert!(!MaturityMatrix::applicable(l, S::Shard));
+        }
+        // Triangular fill: 1+2+3+4+5 = 15 applicable cells.
+        assert_eq!(MaturityMatrix::applicable_cell_count(), 15);
+    }
+
+    #[test]
+    fn table2_cell_text_spot_checks() {
+        use ProcessingStage as S;
+        use ReadinessLevel as L;
+        assert_eq!(
+            MaturityMatrix::cell(L::Raw, S::Ingest),
+            Some("Initial raw acquisition")
+        );
+        assert_eq!(
+            MaturityMatrix::cell(L::Cleaned, S::Preprocess),
+            Some("Initial spatial/temporal alignment or regridding")
+        );
+        assert!(MaturityMatrix::cell(L::FullyAiReady, S::Shard)
+            .unwrap()
+            .contains("train/test/val"));
+    }
+
+    #[test]
+    fn applicable_iff_cell_text_exists() {
+        for l in ReadinessLevel::ALL {
+            for s in ProcessingStage::ALL {
+                assert_eq!(
+                    MaturityMatrix::applicable(l, s),
+                    MaturityMatrix::cell(l, s).is_some(),
+                    "{l} / {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rows_render_full_table() {
+        let rows = MaturityMatrix::rows();
+        assert_eq!(rows.len(), 5);
+        for (i, (level, cells)) in rows.iter().enumerate() {
+            assert_eq!(level.number() as usize, i + 1);
+            assert_eq!(cells.len(), 5);
+            assert_eq!(cells.iter().filter(|c| c.is_some()).count(), i + 1);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ReadinessLevel::Raw.to_string(), "1 - Raw");
+        assert_eq!(ReadinessLevel::FullyAiReady.to_string(), "5 - Fully AI-ready");
+        assert_eq!(ProcessingStage::Shard.to_string(), "Shard");
+    }
+}

@@ -1,0 +1,252 @@
+//! Domain preprocessing templates — the paper's closing call:
+//! "developing standardized domain-specific preprocessing templates for
+//! wider adoption" (§6).
+//!
+//! A [`DomainTemplate`] is the declarative form of a Table 1 row: the
+//! expected stage sequence (with each stage's processing-stage kind), the
+//! target storage format, and the domain-specific constraints a pipeline
+//! must satisfy. Templates validate concrete pipelines (did the
+//! implementation cover the canonical steps, in order?) — turning §3.5's
+//! abstracted patterns into a checkable contract.
+
+use crate::pipeline::Pipeline;
+use crate::readiness::ProcessingStage;
+
+/// A named step in a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateStep {
+    /// Canonical step name ("regrid", "anonymize", ...).
+    pub name: &'static str,
+    /// Which processing stage it belongs to.
+    pub kind: ProcessingStage,
+    /// Whether a conforming pipeline may omit it.
+    pub optional: bool,
+}
+
+/// Constraints a domain imposes beyond the stage sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DomainConstraints {
+    /// PHI/PII handling required (bio/health).
+    pub requires_anonymization: bool,
+    /// Physical conservation required in spatial resampling (climate
+    /// flux variables).
+    pub requires_conservative_remap: bool,
+    /// Group-level split integrity required (fusion shots, patients).
+    pub requires_group_splits: bool,
+}
+
+/// A domain's preprocessing template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainTemplate {
+    /// Domain name ("climate", ...).
+    pub domain: &'static str,
+    /// Canonical pattern string as written in the paper.
+    pub pattern: &'static str,
+    /// Expected steps in order.
+    pub steps: Vec<TemplateStep>,
+    /// Target storage format for the shard stage.
+    pub shard_format: &'static str,
+    /// Extra constraints.
+    pub constraints: DomainConstraints,
+}
+
+/// Problems found when validating a pipeline against a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateViolation {
+    /// A required step kind is missing.
+    MissingStage(ProcessingStage),
+    /// Stage kinds appear out of canonical order.
+    OutOfOrder {
+        /// The stage found too early.
+        found: ProcessingStage,
+        /// The stage it preceded incorrectly.
+        before: ProcessingStage,
+    },
+}
+
+impl DomainTemplate {
+    /// The climate template (§3.1): download → regrid → normalize → shard.
+    pub fn climate() -> DomainTemplate {
+        use ProcessingStage as S;
+        DomainTemplate {
+            domain: "climate",
+            pattern: "download -> regrid -> normalize -> shard",
+            steps: vec![
+                TemplateStep { name: "download", kind: S::Ingest, optional: false },
+                TemplateStep { name: "regrid", kind: S::Preprocess, optional: false },
+                TemplateStep { name: "normalize", kind: S::Transform, optional: false },
+                TemplateStep { name: "shard", kind: S::Shard, optional: false },
+            ],
+            shard_format: "npz",
+            constraints: DomainConstraints {
+                requires_conservative_remap: true,
+                ..DomainConstraints::default()
+            },
+        }
+    }
+
+    /// The fusion template (§3.2): extract → align → normalize → shard.
+    pub fn fusion() -> DomainTemplate {
+        use ProcessingStage as S;
+        DomainTemplate {
+            domain: "fusion",
+            pattern: "extract -> align -> normalize -> shard",
+            steps: vec![
+                TemplateStep { name: "extract", kind: S::Ingest, optional: false },
+                TemplateStep { name: "align", kind: S::Preprocess, optional: false },
+                TemplateStep { name: "normalize", kind: S::Transform, optional: false },
+                TemplateStep { name: "shard", kind: S::Shard, optional: false },
+            ],
+            shard_format: "tfrecord",
+            constraints: DomainConstraints {
+                requires_group_splits: true,
+                ..DomainConstraints::default()
+            },
+        }
+    }
+
+    /// The bio/health template (§3.3): encode → anonymize → fuse → shard.
+    pub fn bio() -> DomainTemplate {
+        use ProcessingStage as S;
+        DomainTemplate {
+            domain: "bio",
+            pattern: "encode -> anonymize -> fuse -> secure-shard",
+            steps: vec![
+                TemplateStep { name: "ingest", kind: S::Ingest, optional: false },
+                TemplateStep { name: "anonymize", kind: S::Transform, optional: false },
+                TemplateStep { name: "fuse", kind: S::Structure, optional: false },
+                TemplateStep { name: "secure-shard", kind: S::Shard, optional: false },
+            ],
+            shard_format: "h5lite+chacha20",
+            constraints: DomainConstraints {
+                requires_anonymization: true,
+                requires_group_splits: true,
+                ..DomainConstraints::default()
+            },
+        }
+    }
+
+    /// The materials template (§3.4): parse → normalize → encode → shard.
+    pub fn materials() -> DomainTemplate {
+        use ProcessingStage as S;
+        DomainTemplate {
+            domain: "materials",
+            pattern: "parse -> normalize -> encode -> shard",
+            steps: vec![
+                TemplateStep { name: "parse", kind: S::Ingest, optional: false },
+                TemplateStep { name: "normalize", kind: S::Transform, optional: false },
+                TemplateStep { name: "encode", kind: S::Structure, optional: false },
+                TemplateStep { name: "shard", kind: S::Shard, optional: false },
+            ],
+            shard_format: "bp+jsonl",
+            constraints: DomainConstraints::default(),
+        }
+    }
+
+    /// All four Table 1 templates.
+    pub fn all() -> Vec<DomainTemplate> {
+        vec![
+            Self::climate(),
+            Self::fusion(),
+            Self::bio(),
+            Self::materials(),
+        ]
+    }
+
+    /// Required stage kinds, deduplicated, in order.
+    pub fn required_kinds(&self) -> Vec<ProcessingStage> {
+        let mut out: Vec<ProcessingStage> = Vec::new();
+        for step in self.steps.iter().filter(|s| !s.optional) {
+            if out.last() != Some(&step.kind) {
+                out.push(step.kind);
+            }
+        }
+        out
+    }
+
+    /// Validate a pipeline's stage kinds against this template.
+    pub fn validate<T>(&self, pipeline: &Pipeline<T>) -> Vec<TemplateViolation> {
+        let kinds = pipeline.stage_kinds();
+        let mut violations = Vec::new();
+        // Order: kinds must be non-decreasing in pipeline index.
+        for w in kinds.windows(2) {
+            if w[0].index() > w[1].index() {
+                violations.push(TemplateViolation::OutOfOrder {
+                    found: w[1],
+                    before: w[0],
+                });
+            }
+        }
+        // Coverage: every required kind present.
+        for kind in self.required_kinds() {
+            if !kinds.contains(&kind) {
+                violations.push(TemplateViolation::MissingStage(kind));
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use ProcessingStage as S;
+
+    #[test]
+    fn four_templates_cover_table1() {
+        let all = DomainTemplate::all();
+        assert_eq!(all.len(), 4);
+        let domains: Vec<&str> = all.iter().map(|t| t.domain).collect();
+        assert_eq!(domains, vec!["climate", "fusion", "bio", "materials"]);
+        // Every template ends in a shard step, per the abstracted pattern.
+        for t in &all {
+            assert_eq!(t.steps.last().unwrap().kind, S::Shard, "{}", t.domain);
+            assert!(t.pattern.contains("shard"));
+        }
+        // Only bio requires anonymization.
+        assert!(DomainTemplate::bio().constraints.requires_anonymization);
+        assert!(!DomainTemplate::climate().constraints.requires_anonymization);
+    }
+
+    #[test]
+    fn conforming_pipeline_validates() {
+        let p: Pipeline<u32> = Pipeline::builder("climate-like")
+            .stage("download", S::Ingest, |x, _| Ok(x))
+            .stage("regrid", S::Preprocess, |x, _| Ok(x))
+            .stage("normalize", S::Transform, |x, _| Ok(x))
+            .stage("shard", S::Shard, |x, _| Ok(x))
+            .build();
+        assert!(DomainTemplate::climate().validate(&p).is_empty());
+    }
+
+    #[test]
+    fn missing_stage_detected() {
+        let p: Pipeline<u32> = Pipeline::builder("no-shard")
+            .stage("download", S::Ingest, |x, _| Ok(x))
+            .stage("normalize", S::Transform, |x, _| Ok(x))
+            .build();
+        let violations = DomainTemplate::climate().validate(&p);
+        assert!(violations.contains(&TemplateViolation::MissingStage(S::Preprocess)));
+        assert!(violations.contains(&TemplateViolation::MissingStage(S::Shard)));
+    }
+
+    #[test]
+    fn out_of_order_detected() {
+        let p: Pipeline<u32> = Pipeline::builder("backwards")
+            .stage("shard", S::Shard, |x, _| Ok(x))
+            .stage("ingest", S::Ingest, |x, _| Ok(x))
+            .build();
+        let violations = DomainTemplate::fusion().validate(&p);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, TemplateViolation::OutOfOrder { .. })));
+    }
+
+    #[test]
+    fn required_kinds_deduplicate() {
+        let t = DomainTemplate::climate();
+        let kinds = t.required_kinds();
+        assert_eq!(kinds, vec![S::Ingest, S::Preprocess, S::Transform, S::Shard]);
+    }
+}

@@ -1,0 +1,92 @@
+//! # drai-domains
+//!
+//! The four archetype workflows of Table 1, end-to-end: synthetic raw-data
+//! generators standing in for the gated sources (DESIGN.md substitution
+//! table) plus the full preprocessing pipeline for each domain, built on
+//! the framework (`drai-core`), kernels (`drai-transform`), formats
+//! (`drai-formats`) and shard engine (`drai-io`).
+//!
+//! | Module | Table 1 row | Pattern |
+//! |---|---|---|
+//! | [`climate`] | CMIP6 / ERA5 (ORBIT, ClimaX) | `download → regrid → normalize → shard` (NetCDF → NPZ) |
+//! | [`fusion`] | DIII-D ML / IPS-Fastran | `extract → align → normalize → shard` (shot store → TFRecord) |
+//! | [`bio`] | TwoFold / C-HER / Enformer | `encode → anonymize → fuse → secure-shard` (CSV+FASTA → encrypted h5lite) |
+//! | [`materials`] | OMat24 / AFLOW (HydraGNN) | `parse → normalize → encode → shard` (XYZ → BP + JSONL) |
+//!
+//! Every pipeline returns a [`DomainRun`]: the output dataset manifest
+//! (with evidence flags set by the stages that actually ran), per-stage
+//! metrics, and the provenance ledger — so the readiness assessor can
+//! grade the result and the Table 2 bench can measure each cell.
+
+pub mod bio;
+pub mod climate;
+pub mod fusion;
+pub mod materials;
+
+use drai_core::pipeline::StageMetrics;
+use drai_core::DatasetManifest;
+use drai_provenance::Ledger;
+use std::sync::Arc;
+
+/// Common result of running a domain pipeline.
+pub struct DomainRun {
+    /// Evidence-bearing manifest for the produced dataset.
+    pub manifest: DatasetManifest,
+    /// Per-stage timing/volume.
+    pub stages: Vec<StageMetrics>,
+    /// Provenance of every transformation (shared with the pipeline's
+    /// stage closures, hence the `Arc`).
+    pub ledger: Arc<Ledger>,
+    /// Names of shard blobs written (across splits).
+    pub shard_files: Vec<String>,
+}
+
+/// Errors from domain pipelines.
+#[derive(Debug)]
+pub enum DomainError {
+    /// Core framework failure.
+    Core(drai_core::CoreError),
+    /// Format encode/decode failure.
+    Format(drai_formats::FormatError),
+    /// I/O failure.
+    Io(drai_io::IoError),
+    /// Kernel failure.
+    Transform(drai_transform::TransformError),
+    /// Generator/parameter problem.
+    Config(String),
+}
+
+impl std::fmt::Display for DomainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DomainError::Core(e) => write!(f, "{e}"),
+            DomainError::Format(e) => write!(f, "{e}"),
+            DomainError::Io(e) => write!(f, "{e}"),
+            DomainError::Transform(e) => write!(f, "{e}"),
+            DomainError::Config(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+impl From<drai_core::CoreError> for DomainError {
+    fn from(e: drai_core::CoreError) -> Self {
+        DomainError::Core(e)
+    }
+}
+impl From<drai_formats::FormatError> for DomainError {
+    fn from(e: drai_formats::FormatError) -> Self {
+        DomainError::Format(e)
+    }
+}
+impl From<drai_io::IoError> for DomainError {
+    fn from(e: drai_io::IoError) -> Self {
+        DomainError::Io(e)
+    }
+}
+impl From<drai_transform::TransformError> for DomainError {
+    fn from(e: drai_transform::TransformError) -> Self {
+        DomainError::Transform(e)
+    }
+}

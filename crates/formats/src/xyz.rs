@@ -1,0 +1,294 @@
+//! Extended XYZ structure files for the materials archetype.
+//!
+//! The XYZ format stores molecular/crystal frames as:
+//!
+//! ```text
+//! <natoms>
+//! <comment line: key=value properties, e.g. energy=-13.4 lattice="...">
+//! <element> <x> <y> <z> [extra columns]
+//! ...
+//! ```
+//!
+//! OMat24/AFLOW-style pipelines parse millions of such frames before graph
+//! encoding. This module supports multi-frame files, per-frame `key=value`
+//! properties (quoted values allowed), and per-atom force columns.
+
+use crate::{malformed, FormatError};
+use std::collections::BTreeMap;
+
+/// One atom: element symbol and Cartesian position (Å).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Element symbol (e.g. "Si").
+    pub element: String,
+    /// Position [x, y, z].
+    pub position: [f64; 3],
+    /// Optional per-atom force [fx, fy, fz].
+    pub force: Option<[f64; 3]>,
+}
+
+/// One structure frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Atoms in file order.
+    pub atoms: Vec<Atom>,
+    /// Frame-level properties from the comment line (`energy`, `lattice`...).
+    pub properties: BTreeMap<String, String>,
+}
+
+impl Frame {
+    /// Frame energy, if the `energy` property parses as f64.
+    pub fn energy(&self) -> Option<f64> {
+        self.properties.get("energy")?.parse().ok()
+    }
+
+    /// Count atoms of each element.
+    pub fn composition(&self) -> BTreeMap<&str, usize> {
+        let mut out = BTreeMap::new();
+        for a in &self.atoms {
+            *out.entry(a.element.as_str()).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+/// Parse (possibly multi-frame) extended XYZ text.
+pub fn parse_xyz(text: &str) -> Result<Vec<Frame>, FormatError> {
+    let lines: Vec<&str> = text.lines().map(|l| l.trim_end_matches('\r')).collect();
+    let mut frames = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].trim().is_empty() {
+            i += 1;
+            continue;
+        }
+        let natoms: usize = lines[i]
+            .trim()
+            .parse()
+            .map_err(|_| malformed("xyz", format!("line {}: expected atom count", i + 1)))?;
+        if i + 1 >= lines.len() {
+            return Err(malformed("xyz", "missing comment line"));
+        }
+        let properties = parse_properties(lines[i + 1]);
+        if i + 2 + natoms > lines.len() {
+            return Err(malformed(
+                "xyz",
+                format!("frame at line {} truncated: wants {natoms} atoms", i + 1),
+            ));
+        }
+        let mut atoms = Vec::with_capacity(natoms);
+        for (k, raw) in lines[i + 2..i + 2 + natoms].iter().enumerate() {
+            let cols: Vec<&str> = raw.split_whitespace().collect();
+            if cols.len() != 4 && cols.len() != 7 {
+                return Err(malformed(
+                    "xyz",
+                    format!("line {}: expected 4 or 7 columns, got {}", i + 3 + k, cols.len()),
+                ));
+            }
+            let parse = |s: &str, what: &str| -> Result<f64, FormatError> {
+                s.parse()
+                    .map_err(|_| malformed("xyz", format!("line {}: bad {what} {s:?}", i + 3 + k)))
+            };
+            let position = [
+                parse(cols[1], "x")?,
+                parse(cols[2], "y")?,
+                parse(cols[3], "z")?,
+            ];
+            let force = if cols.len() == 7 {
+                Some([
+                    parse(cols[4], "fx")?,
+                    parse(cols[5], "fy")?,
+                    parse(cols[6], "fz")?,
+                ])
+            } else {
+                None
+            };
+            atoms.push(Atom {
+                element: cols[0].to_string(),
+                position,
+                force,
+            });
+        }
+        frames.push(Frame { atoms, properties });
+        i += 2 + natoms;
+    }
+    Ok(frames)
+}
+
+/// Parse `key=value` pairs; values may be double-quoted to contain spaces.
+fn parse_properties(line: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        while i < chars.len() && chars[i].is_whitespace() {
+            i += 1;
+        }
+        let key_start = i;
+        while i < chars.len() && chars[i] != '=' && !chars[i].is_whitespace() {
+            i += 1;
+        }
+        if i >= chars.len() || chars[i] != '=' {
+            // A bare token (free-text comment) — skip it.
+            continue;
+        }
+        let key: String = chars[key_start..i].iter().collect();
+        i += 1; // '='
+        let value = if i < chars.len() && chars[i] == '"' {
+            i += 1;
+            let start = i;
+            while i < chars.len() && chars[i] != '"' {
+                i += 1;
+            }
+            let v: String = chars[start..i].iter().collect();
+            i += 1; // closing quote
+            v
+        } else {
+            let start = i;
+            while i < chars.len() && !chars[i].is_whitespace() {
+                i += 1;
+            }
+            chars[start..i].iter().collect()
+        };
+        if !key.is_empty() {
+            out.insert(key, value);
+        }
+    }
+    out
+}
+
+/// Write frames as extended XYZ.
+pub fn write_xyz(frames: &[Frame]) -> String {
+    let mut out = String::new();
+    for f in frames {
+        out.push_str(&f.atoms.len().to_string());
+        out.push('\n');
+        let mut first = true;
+        for (k, v) in &f.properties {
+            if !first {
+                out.push(' ');
+            }
+            first = false;
+            if v.contains(' ') || v.is_empty() {
+                out.push_str(&format!("{k}=\"{v}\""));
+            } else {
+                out.push_str(&format!("{k}={v}"));
+            }
+        }
+        out.push('\n');
+        for a in &f.atoms {
+            out.push_str(&a.element);
+            for c in a.position {
+                out.push_str(&format!(" {c:.8}"));
+            }
+            if let Some(force) = a.force {
+                for c in force {
+                    out.push_str(&format!(" {c:.8}"));
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn si_frame() -> Frame {
+        Frame {
+            atoms: vec![
+                Atom {
+                    element: "Si".into(),
+                    position: [0.0, 0.0, 0.0],
+                    force: Some([0.1, -0.2, 0.0]),
+                },
+                Atom {
+                    element: "Si".into(),
+                    position: [1.3575, 1.3575, 1.3575],
+                    force: Some([-0.1, 0.2, 0.0]),
+                },
+                Atom {
+                    element: "O".into(),
+                    position: [2.715, 0.0, 0.0],
+                    force: Some([0.0, 0.0, 0.0]),
+                },
+            ],
+            properties: [
+                ("energy".to_string(), "-13.47".to_string()),
+                ("lattice".to_string(), "5.43 0 0 0 5.43 0 0 0 5.43".to_string()),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    #[test]
+    fn round_trip_multi_frame() {
+        let frames = vec![si_frame(), si_frame()];
+        let text = write_xyz(&frames);
+        let back = parse_xyz(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].atoms.len(), 3);
+        assert_eq!(back[0].properties["energy"], "-13.47");
+        assert_eq!(back[0].properties["lattice"], "5.43 0 0 0 5.43 0 0 0 5.43");
+        for (a, b) in back[0].atoms.iter().zip(&frames[0].atoms) {
+            assert_eq!(a.element, b.element);
+            for k in 0..3 {
+                assert!((a.position[k] - b.position[k]).abs() < 1e-8);
+                assert!((a.force.unwrap()[k] - b.force.unwrap()[k]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_accessors() {
+        let f = si_frame();
+        assert_eq!(f.energy(), Some(-13.47));
+        let comp = f.composition();
+        assert_eq!(comp["Si"], 2);
+        assert_eq!(comp["O"], 1);
+    }
+
+    #[test]
+    fn positions_without_forces() {
+        let text = "2\nenergy=1.5\nH 0 0 0\nH 0 0 0.74\n";
+        let frames = parse_xyz(text).unwrap();
+        assert_eq!(frames[0].atoms[1].position[2], 0.74);
+        assert_eq!(frames[0].atoms[0].force, None);
+        assert_eq!(frames[0].energy(), Some(1.5));
+    }
+
+    #[test]
+    fn free_text_comment_tolerated() {
+        let text = "1\ngenerated by dft run 42 energy=-3.0\nC 1 2 3\n";
+        let frames = parse_xyz(text).unwrap();
+        assert_eq!(frames[0].energy(), Some(-3.0));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(parse_xyz("notanumber\ncomment\n").is_err());
+        assert!(parse_xyz("2\ncomment\nH 0 0 0\n").is_err()); // missing atom
+        assert!(parse_xyz("1\ncomment\nH 0 0\n").is_err()); // 3 columns
+        assert!(parse_xyz("1\ncomment\nH a b c\n").is_err()); // bad float
+        assert!(parse_xyz("1\n").is_err()); // no comment line
+        assert!(parse_xyz("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn blank_lines_between_frames() {
+        let text = "1\ne=1\nH 0 0 0\n\n\n1\ne=2\nHe 1 1 1\n";
+        let frames = parse_xyz(text).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[1].atoms[0].element, "He");
+    }
+
+    #[test]
+    fn scientific_notation_coordinates() {
+        let text = "1\nx=y\nFe 1.5e-3 -2E2 0.0\n";
+        let frames = parse_xyz(text).unwrap();
+        assert_eq!(frames[0].atoms[0].position, [0.0015, -200.0, 0.0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests on the binary container formats: arbitrary-content
+//! round-trips and no-panic guarantees on malformed input.
+
+use drai_formats::bp::{BpReader, BpVar, BpWriter, ProcessGroup};
+use drai_formats::example::{Example, Feature};
+use drai_formats::fasta::{parse_fasta, write_fasta, FastaRecord};
+use drai_formats::grib::{decode_message, encode_message, GribMessage, Packing};
+use drai_formats::h5lite::{Dataset, H5File};
+use drai_formats::netcdf::NcFile;
+use drai_formats::xyz::{parse_xyz, write_xyz, Atom, Frame};
+use drai_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn grib_round_trip_within_tolerance(
+        nlat in 1u32..12, nlon in 1u32..12, bits in 8u32..24,
+        seed in any::<u64>()) {
+        let n = (nlat * nlon) as usize;
+        let mut state = seed | 1;
+        let values: Vec<f64> = (0..n).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 200.0 + 150.0
+        }).collect();
+        let span = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let msg = GribMessage {
+            parameter: "v".into(),
+            nlat, nlon, time_hours: 0,
+            values: values.clone(),
+        };
+        let packing = Packing { bits };
+        let bytes = encode_message(&msg, packing).unwrap();
+        let (back, used) = decode_message(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        let tol = drai_formats::grib::quantization_error(span, packing) * 1.01 + 1e-12;
+        for (a, b) in back.values.iter().zip(&values) {
+            prop_assert!((a - b).abs() <= tol, "{} vs {} tol {}", a, b, tol);
+        }
+    }
+
+    #[test]
+    fn grib_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_message(&data);
+    }
+
+    #[test]
+    fn h5lite_tensor_round_trip(
+        rows in 0usize..20, cols in 1usize..8, chunk in 1usize..10,
+        values_seed in any::<u64>()) {
+        let mut state = values_seed | 1;
+        let data: Vec<f64> = (0..rows * cols).map(|_| {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            f64::from_bits((state >> 12) | 0x3FF0_0000_0000_0000) - 1.5
+        }).collect();
+        let t = Tensor::from_vec(data, &[rows, cols]).unwrap();
+        let mut f = H5File::new();
+        f.put_dataset("/g/x", Dataset::from_tensor(&t, chunk)).unwrap();
+        let back = H5File::from_bytes(&f.to_bytes()).unwrap();
+        let rt: Tensor<f64> = back.tensor("/g/x").unwrap();
+        prop_assert_eq!(rt.to_le_bytes(), t.to_le_bytes());
+    }
+
+    #[test]
+    fn h5lite_parse_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = H5File::from_bytes(&data);
+    }
+
+    #[test]
+    fn bp_round_trip(groups in 0usize..6, vars in 1usize..4, n in 1usize..32) {
+        let mut w = BpWriter::new();
+        let mut expect = Vec::new();
+        for g in 0..groups {
+            let pg = ProcessGroup {
+                name: format!("g{g}"),
+                step: g as u64,
+                vars: (0..vars)
+                    .map(|v| {
+                        let t = Tensor::from_fn(&[n], |k| (g * 31 + v * 7 + k) as i64);
+                        BpVar::from_tensor(&format!("v{v}"), &t)
+                    })
+                    .collect(),
+            };
+            w.append(&pg);
+            expect.push(pg);
+        }
+        let bytes = w.finish();
+        let r = BpReader::open(&bytes).unwrap();
+        prop_assert_eq!(r.read_all().unwrap(), expect);
+    }
+
+    #[test]
+    fn bp_open_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = BpReader::open(&data);
+    }
+
+    #[test]
+    fn netcdf_parse_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = NcFile::from_bytes(&data);
+    }
+
+    #[test]
+    fn example_round_trip_arbitrary_features(
+        floats in proptest::collection::vec(any::<f32>(), 0..32),
+        ints in proptest::collection::vec(any::<i64>(), 0..32),
+        blob in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let ex = Example::new()
+            .with_floats("f", floats.clone())
+            .with_ints("i", ints.clone())
+            .with_bytes("b", vec![blob.clone()]);
+        let back = Example::decode(&ex.encode()).unwrap();
+        // Floats compared bitwise (NaN-safe).
+        match (&back.features["f"], &Feature::Floats(floats)) {
+            (Feature::Floats(a), Feature::Floats(b)) => {
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            _ => prop_assert!(false, "float feature lost"),
+        }
+        prop_assert_eq!(back.ints("i").unwrap(), &ints[..]);
+        prop_assert_eq!(&back.bytes("b").unwrap()[0], &blob);
+    }
+
+    #[test]
+    fn fasta_round_trip(seqs in proptest::collection::vec("[ACGTN]{0,80}", 1..6),
+                        width in 1usize..30) {
+        let records: Vec<FastaRecord> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| FastaRecord {
+                header: format!("seq{i}"),
+                sequence: s.clone(),
+            })
+            .collect();
+        let text = write_fasta(&records, width);
+        prop_assert_eq!(parse_fasta(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn xyz_round_trip(natoms in 1usize..10, seed in any::<u64>()) {
+        let mut state = seed | 1;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 20.0 - 10.0
+        };
+        let frame = Frame {
+            atoms: (0..natoms)
+                .map(|i| Atom {
+                    element: ["H", "C", "O", "Si"][i % 4].to_string(),
+                    position: [rand(), rand(), rand()],
+                    force: Some([rand(), rand(), rand()]),
+                })
+                .collect(),
+            properties: [("energy".to_string(), "-1.25".to_string())]
+                .into_iter()
+                .collect(),
+        };
+        let text = write_xyz(std::slice::from_ref(&frame));
+        let back = parse_xyz(&text).unwrap();
+        prop_assert_eq!(back.len(), 1);
+        prop_assert_eq!(back[0].atoms.len(), natoms);
+        for (a, b) in back[0].atoms.iter().zip(&frame.atoms) {
+            prop_assert_eq!(&a.element, &b.element);
+            for c in 0..3 {
+                prop_assert!((a.position[c] - b.position[c]).abs() < 1e-7);
+                prop_assert!((a.force.unwrap()[c] - b.force.unwrap()[c]).abs() < 1e-7);
+            }
+        }
+    }
+}

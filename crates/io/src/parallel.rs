@@ -1,0 +1,281 @@
+//! Parallel ingestion utilities: bounded prefetching with order
+//! preservation, and chunked parallel transforms.
+//!
+//! GPU-bound training loops starve when preprocessing or storage cannot keep
+//! up; the standard HPC remedy (and the paper's "optimized high-throughput
+//! ingestion", Table 2 level 4) is a small pool of reader threads feeding a
+//! bounded queue ahead of the consumer. [`prefetch_map`] implements that
+//! with crossbeam channels while preserving input order, which samplers
+//! downstream rely on for reproducible epochs.
+
+use crossbeam::channel::{bounded, Receiver};
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::thread;
+
+/// Apply `f` to each item on `workers` background threads, yielding results
+/// **in input order** through a queue holding at most `queue_cap` completed
+/// items per worker.
+///
+/// `f` runs concurrently; the returned iterator blocks until the next
+/// in-order result is available. Panics in `f` propagate to the consumer.
+pub fn prefetch_map<T, U, F>(
+    items: Vec<T>,
+    workers: usize,
+    queue_cap: usize,
+    f: F,
+) -> PrefetchIter<U>
+where
+    T: Send + 'static,
+    U: Send + 'static,
+    F: Fn(T) -> U + Send + Sync + 'static,
+{
+    let workers = workers.max(1);
+    let queue_cap = queue_cap.max(1);
+    let total = items.len();
+    let (work_tx, work_rx) = bounded::<(usize, T)>(workers * 2);
+    let (done_tx, done_rx) = bounded::<(usize, thread::Result<U>)>(workers * queue_cap);
+
+    // Feeder thread: enumerate work items.
+    let feeder = thread::spawn(move || {
+        for pair in items.into_iter().enumerate() {
+            if work_tx.send(pair).is_err() {
+                break; // consumers dropped
+            }
+        }
+    });
+
+    let f = std::sync::Arc::new(f);
+    let mut pool = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let work_rx = work_rx.clone();
+        let done_tx = done_tx.clone();
+        let f = f.clone();
+        pool.push(thread::spawn(move || {
+            while let Ok((idx, item)) = work_rx.recv() {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)));
+                if done_tx.send((idx, result)).is_err() {
+                    break;
+                }
+            }
+        }));
+    }
+    drop(done_tx);
+    drop(work_rx);
+
+    PrefetchIter {
+        rx: Some(done_rx),
+        next_index: 0,
+        total,
+        pending: BinaryHeap::new(),
+        threads: Some((feeder, pool)),
+    }
+}
+
+/// Order-restoring iterator returned by [`prefetch_map`].
+pub struct PrefetchIter<U> {
+    rx: Option<Receiver<(usize, thread::Result<U>)>>,
+    next_index: usize,
+    total: usize,
+    pending: BinaryHeap<Reverse<HeapEntry<U>>>,
+    threads: Option<(thread::JoinHandle<()>, Vec<thread::JoinHandle<()>>)>,
+}
+
+struct HeapEntry<U> {
+    index: usize,
+    value: thread::Result<U>,
+}
+
+impl<U> PartialEq for HeapEntry<U> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+    }
+}
+impl<U> Eq for HeapEntry<U> {}
+impl<U> PartialOrd for HeapEntry<U> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<U> Ord for HeapEntry<U> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.index.cmp(&other.index)
+    }
+}
+
+impl<U> Iterator for PrefetchIter<U> {
+    type Item = U;
+
+    fn next(&mut self) -> Option<U> {
+        if self.next_index >= self.total {
+            self.join();
+            return None;
+        }
+        loop {
+            // Serve from the reorder buffer when the next index is ready.
+            if let Some(Reverse(top)) = self.pending.peek() {
+                if top.index == self.next_index {
+                    let Reverse(entry) = self.pending.pop().expect("peeked entry");
+                    self.next_index += 1;
+                    match entry.value {
+                        Ok(v) => return Some(v),
+                        Err(panic) => {
+                            self.join();
+                            std::panic::resume_unwind(panic)
+                        }
+                    }
+                }
+            }
+            let recv = self
+                .rx
+                .as_ref()
+                .map(|rx| rx.recv())
+                .unwrap_or(Err(crossbeam::channel::RecvError));
+            match recv {
+                Ok((index, value)) => {
+                    self.pending.push(Reverse(HeapEntry { index, value }));
+                }
+                Err(_) => {
+                    // Workers gone with items missing: a worker panicked
+                    // between recv and send, or state is inconsistent.
+                    self.join();
+                    panic!("prefetch workers terminated early");
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.total - self.next_index;
+        (remaining, Some(remaining))
+    }
+}
+
+impl<U> PrefetchIter<U> {
+    /// Drop the result receiver *first* so workers blocked on a full
+    /// results queue error out of `send` and exit, then join everything.
+    fn join(&mut self) {
+        self.rx = None;
+        if let Some((feeder, pool)) = self.threads.take() {
+            let _ = feeder.join();
+            for t in pool {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+impl<U> Drop for PrefetchIter<U> {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+/// Split `data` into `chunks` near-equal contiguous pieces (for parallel
+/// checksum/compression of large buffers). Returns `(offset, slice)` pairs;
+/// fewer pieces when `data` is shorter than `chunks`.
+pub fn chunk_slices(data: &[u8], chunks: usize) -> Vec<(usize, &[u8])> {
+    let chunks = chunks.max(1);
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let size = data.len().div_ceil(chunks);
+    data.chunks(size)
+        .enumerate()
+        .map(|(i, c)| (i * size, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..200).collect();
+        let out: Vec<u64> = prefetch_map(items.clone(), 8, 4, |x| {
+            // Jittered work so completion order differs from input order.
+            std::thread::sleep(std::time::Duration::from_micros((x * 37) % 300));
+            x * 2
+        })
+        .collect();
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = prefetch_map(Vec::<u32>::new(), 4, 2, |x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_behaves() {
+        let out: Vec<usize> = prefetch_map(vec![5, 6, 7], 1, 1, |x| x + 1).collect();
+        assert_eq!(out, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn actually_parallel() {
+        // With 4 workers, 4 items that each sleep 50ms should finish well
+        // under 200ms of wall time.
+        let start = std::time::Instant::now();
+        let out: Vec<u8> = prefetch_map(vec![0u8; 4], 4, 4, |x| {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            x
+        })
+        .collect();
+        assert_eq!(out.len(), 4);
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(190),
+            "took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn early_drop_does_not_hang() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = counter.clone();
+        {
+            let mut it = prefetch_map((0..1000).collect::<Vec<u64>>(), 4, 2, move |x| {
+                c2.fetch_add(1, Ordering::Relaxed);
+                x
+            });
+            assert_eq!(it.next(), Some(0));
+            // Drop with 999 items unconsumed.
+        }
+        // Workers stopped before processing everything (bounded queues).
+        assert!(counter.load(Ordering::Relaxed) <= 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let _: Vec<u32> = prefetch_map(vec![1u32, 2, 3], 2, 2, |x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        })
+        .collect();
+    }
+
+    #[test]
+    fn chunk_slices_covers_everything() {
+        let data: Vec<u8> = (0..=255).collect();
+        for chunks in [1, 2, 3, 7, 256, 1000] {
+            let parts = chunk_slices(&data, chunks);
+            let mut rebuilt = Vec::new();
+            let mut expected_off = 0;
+            for (off, slice) in &parts {
+                assert_eq!(*off, expected_off);
+                expected_off += slice.len();
+                rebuilt.extend_from_slice(slice);
+            }
+            assert_eq!(rebuilt, data, "chunks={chunks}");
+        }
+        assert!(chunk_slices(&[], 4).is_empty());
+    }
+}

@@ -1,0 +1,534 @@
+//! The record-sharding engine — the paper's *shard* processing stage.
+//!
+//! "AI-ready" in the DRAI framework means, operationally, that samples are
+//! "partitioned into train/test/val & sharded into binary formats for
+//! scalable ingestion" (Table 2, level 5). This module provides the
+//! format-agnostic half of that: fixed-target-size shard files of
+//! CRC-framed records, written in parallel, indexed by a JSON manifest with
+//! per-shard digests so corruption is detected at read time.
+//!
+//! ## Shard file layout
+//!
+//! ```text
+//! +--------------------+ 8 bytes  magic "DSHRD1\0\0"
+//! | codec tag          | 1 byte   CodecId::tag()
+//! | reserved           | 3 bytes  zero
+//! | record 0           |
+//! |   stored_len u32le |
+//! |   masked crc32c    |          over the stored (encoded) payload
+//! |   stored payload   |
+//! | record 1 ...       |
+//! +--------------------+
+//! ```
+//!
+//! Records are individually compressed so a reader can skip or stream
+//! without decompressing the whole shard (TFRecord-style framing with the
+//! same masked-CRC trick).
+
+use crate::checksum::{crc32c, masked_crc32c};
+use crate::codec::{codec_for, CodecId};
+use crate::json::Json;
+use crate::sink::StorageSink;
+use crate::IoError;
+use rayon::prelude::*;
+
+const SHARD_MAGIC: &[u8; 8] = b"DSHRD1\0\0";
+const RECORD_HEADER: usize = 8; // u32 len + u32 masked crc
+
+/// Configuration for a shard run.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Prefix for shard file names: `{prefix}-{index:05}.shard`.
+    pub prefix: String,
+    /// Target (soft maximum) bytes of stored payload per shard. A single
+    /// record larger than the target still becomes one oversized shard.
+    pub target_shard_bytes: usize,
+    /// Codec applied to each record payload.
+    pub codec: CodecId,
+}
+
+impl ShardSpec {
+    /// Spec with the raw codec and a given target size.
+    pub fn new(prefix: impl Into<String>, target_shard_bytes: usize) -> Self {
+        ShardSpec {
+            prefix: prefix.into(),
+            target_shard_bytes: target_shard_bytes.max(1),
+            codec: CodecId::Raw,
+        }
+    }
+
+    /// Builder-style codec override.
+    pub fn with_codec(mut self, codec: CodecId) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    fn shard_name(&self, index: usize) -> String {
+        format!("{}-{index:05}.shard", self.prefix)
+    }
+
+    fn manifest_name(&self) -> String {
+        format!("{}.manifest.json", self.prefix)
+    }
+}
+
+/// Per-shard entry in a [`ShardManifest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Blob name within the sink.
+    pub name: String,
+    /// Number of records in this shard.
+    pub records: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// CRC-32C of the entire shard file.
+    pub crc32c: u32,
+}
+
+/// Index of a completed shard run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Shard spec prefix this manifest belongs to.
+    pub prefix: String,
+    /// Codec used for record payloads.
+    pub codec: CodecId,
+    /// All shards, in record order.
+    pub shards: Vec<ShardInfo>,
+    /// Total records across shards.
+    pub total_records: u64,
+    /// Total *uncompressed* payload bytes across records.
+    pub payload_bytes: u64,
+}
+
+impl ShardManifest {
+    /// Serialize to deterministic JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("format", Json::from("drai-shard-manifest-v1")),
+            ("prefix", Json::from(self.prefix.clone())),
+            ("codec", Json::from(self.codec.name())),
+            ("total_records", Json::from(self.total_records)),
+            ("payload_bytes", Json::from(self.payload_bytes)),
+            (
+                "shards",
+                Json::Arr(
+                    self.shards
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("name", Json::from(s.name.clone())),
+                                ("records", Json::from(s.records)),
+                                ("bytes", Json::from(s.bytes)),
+                                ("crc32c", Json::from(s.crc32c as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse from manifest JSON.
+    pub fn from_json(v: &Json) -> Result<ShardManifest, IoError> {
+        let bad = |msg: &str| IoError::Format(format!("manifest: {msg}"));
+        if v.get("format").and_then(Json::as_str) != Some("drai-shard-manifest-v1") {
+            return Err(bad("missing/unknown format marker"));
+        }
+        let prefix = v
+            .get("prefix")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing prefix"))?
+            .to_string();
+        let codec_name = v
+            .get("codec")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing codec"))?;
+        let codec = CodecId::from_name(codec_name)
+            .ok_or_else(|| bad(&format!("unknown codec {codec_name}")))?;
+        let total_records = v
+            .get("total_records")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing total_records"))?;
+        let payload_bytes = v
+            .get("payload_bytes")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing payload_bytes"))?;
+        let mut shards = Vec::new();
+        for s in v
+            .get("shards")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing shards"))?
+        {
+            shards.push(ShardInfo {
+                name: s
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("shard missing name"))?
+                    .to_string(),
+                records: s
+                    .get("records")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("shard missing records"))?,
+                bytes: s
+                    .get("bytes")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("shard missing bytes"))?,
+                crc32c: s
+                    .get("crc32c")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("shard missing crc32c"))? as u32,
+            });
+        }
+        Ok(ShardManifest {
+            prefix,
+            codec,
+            shards,
+            total_records,
+            payload_bytes,
+        })
+    }
+}
+
+/// Writes records into size-targeted shard files through a [`StorageSink`].
+pub struct ShardWriter<'a> {
+    spec: ShardSpec,
+    sink: &'a dyn StorageSink,
+}
+
+impl<'a> ShardWriter<'a> {
+    /// Writer for `spec` targeting `sink`.
+    pub fn new(spec: ShardSpec, sink: &'a dyn StorageSink) -> Self {
+        ShardWriter { spec, sink }
+    }
+
+    /// Encode and write all records, preserving order, and persist the
+    /// manifest. Record payload encoding runs data-parallel (rayon);
+    /// shard files themselves are written concurrently once assembled.
+    pub fn write_all<R>(&self, records: R) -> Result<ShardManifest, IoError>
+    where
+        R: IntoIterator,
+        R::Item: AsRef<[u8]> + Send + Sync,
+    {
+        let records: Vec<R::Item> = records.into_iter().collect();
+        let payload_bytes: u64 = records.iter().map(|r| r.as_ref().len() as u64).sum();
+
+        // Parallel per-record encode (order preserved by collect).
+        let codec = codec_for(self.spec.codec);
+        let encoded: Vec<Vec<u8>> = records
+            .par_iter()
+            .map(|r| codec.encode(r.as_ref()))
+            .collect();
+        drop(records);
+
+        // Greedy size-based packing into shards.
+        let mut groups: Vec<(usize, usize)> = Vec::new(); // (start, end)
+        let mut start = 0;
+        let mut acc = 0usize;
+        for (i, e) in encoded.iter().enumerate() {
+            let sz = e.len() + RECORD_HEADER;
+            if acc > 0 && acc + sz > self.spec.target_shard_bytes {
+                groups.push((start, i));
+                start = i;
+                acc = 0;
+            }
+            acc += sz;
+        }
+        if start < encoded.len() {
+            groups.push((start, encoded.len()));
+        }
+
+        // Assemble and write shards in parallel; infos keep group order.
+        let spec = &self.spec;
+        let sink = self.sink;
+        let infos: Vec<Result<ShardInfo, IoError>> = groups
+            .par_iter()
+            .enumerate()
+            .map(|(idx, &(s, e))| {
+                let mut buf = Vec::with_capacity(
+                    12 + encoded[s..e].iter().map(|r| r.len() + RECORD_HEADER).sum::<usize>(),
+                );
+                buf.extend_from_slice(SHARD_MAGIC);
+                buf.push(spec.codec.tag());
+                buf.extend_from_slice(&[0, 0, 0]);
+                for rec in &encoded[s..e] {
+                    buf.extend_from_slice(&(rec.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(&masked_crc32c(rec).to_le_bytes());
+                    buf.extend_from_slice(rec);
+                }
+                let name = spec.shard_name(idx);
+                sink.write_file(&name, &buf)?;
+                Ok(ShardInfo {
+                    name,
+                    records: (e - s) as u64,
+                    bytes: buf.len() as u64,
+                    crc32c: crc32c(&buf),
+                })
+            })
+            .collect();
+        let mut shards = Vec::with_capacity(infos.len());
+        for info in infos {
+            shards.push(info?);
+        }
+
+        let manifest = ShardManifest {
+            prefix: self.spec.prefix.clone(),
+            codec: self.spec.codec,
+            total_records: encoded.len() as u64,
+            payload_bytes,
+            shards,
+        };
+        self.sink.write_file(
+            &self.spec.manifest_name(),
+            manifest.to_json().to_string_compact().as_bytes(),
+        )?;
+        Ok(manifest)
+    }
+}
+
+/// Reads records back from a shard run, verifying CRCs.
+pub struct ShardReader<'a> {
+    manifest: ShardManifest,
+    sink: &'a dyn StorageSink,
+}
+
+impl<'a> ShardReader<'a> {
+    /// Open by manifest prefix.
+    pub fn open(prefix: &str, sink: &'a dyn StorageSink) -> Result<Self, IoError> {
+        let raw = sink.read_file(&format!("{prefix}.manifest.json"))?;
+        let text = std::str::from_utf8(&raw)
+            .map_err(|_| IoError::Format("manifest is not UTF-8".into()))?;
+        let json = Json::parse(text).map_err(|e| IoError::Format(format!("manifest: {e}")))?;
+        let manifest = ShardManifest::from_json(&json)?;
+        Ok(ShardReader { manifest, sink })
+    }
+
+    /// The parsed manifest.
+    pub fn manifest(&self) -> &ShardManifest {
+        &self.manifest
+    }
+
+    /// Read and decode every record of one shard, verifying the whole-file
+    /// CRC and each record CRC.
+    pub fn read_shard(&self, index: usize) -> Result<Vec<Vec<u8>>, IoError> {
+        let info = self
+            .manifest
+            .shards
+            .get(index)
+            .ok_or_else(|| IoError::Format(format!("shard index {index} out of range")))?;
+        let data = self.sink.read_file(&info.name)?;
+        if crc32c(&data) != info.crc32c {
+            return Err(IoError::ChecksumMismatch {
+                context: format!("shard file {}", info.name),
+            });
+        }
+        parse_shard(&data, &info.name, self.manifest.codec)
+    }
+
+    /// Iterate all records across shards in order (fully materialized;
+    /// use [`crate::parallel::prefetch_map`] for streaming pipelines).
+    pub fn read_all(&self) -> Result<Vec<Vec<u8>>, IoError> {
+        let mut out = Vec::with_capacity(self.manifest.total_records as usize);
+        for i in 0..self.manifest.shards.len() {
+            out.extend(self.read_shard(i)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Parse one shard file body (exposed for the failure-injection tests).
+pub fn parse_shard(data: &[u8], name: &str, codec_id: CodecId) -> Result<Vec<Vec<u8>>, IoError> {
+    if data.len() < 12 || &data[..8] != SHARD_MAGIC {
+        return Err(IoError::Format(format!("{name}: bad shard magic")));
+    }
+    let tag = data[8];
+    let file_codec = CodecId::from_tag(tag)?;
+    if file_codec != codec_id {
+        return Err(IoError::Format(format!(
+            "{name}: codec mismatch (file={}, manifest={})",
+            file_codec.name(),
+            codec_id.name()
+        )));
+    }
+    let codec = codec_for(codec_id);
+    let mut out = Vec::new();
+    let mut pos = 12;
+    while pos < data.len() {
+        if pos + RECORD_HEADER > data.len() {
+            return Err(IoError::Format(format!("{name}: truncated record header")));
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        pos += RECORD_HEADER;
+        if pos + len > data.len() {
+            return Err(IoError::Format(format!("{name}: truncated record payload")));
+        }
+        let stored = &data[pos..pos + len];
+        if masked_crc32c(stored) != crc {
+            return Err(IoError::ChecksumMismatch {
+                context: format!("{name} record {}", out.len()),
+            });
+        }
+        out.push(codec.decode(stored)?);
+        pos += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemSink;
+
+    fn records(n: usize, size: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| (0..size).map(|j| ((i * 31 + j * 7) % 251) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_single_shard() {
+        let sink = MemSink::new();
+        let recs = records(10, 100);
+        let spec = ShardSpec::new("train", 1 << 20);
+        let manifest = ShardWriter::new(spec, &sink).write_all(&recs).unwrap();
+        assert_eq!(manifest.shards.len(), 1);
+        assert_eq!(manifest.total_records, 10);
+        assert_eq!(manifest.payload_bytes, 1000);
+        let reader = ShardReader::open("train", &sink).unwrap();
+        assert_eq!(reader.read_all().unwrap(), recs);
+    }
+
+    #[test]
+    fn splits_at_target_size() {
+        let sink = MemSink::new();
+        let recs = records(100, 1000);
+        let spec = ShardSpec::new("t", 10_000);
+        let manifest = ShardWriter::new(spec, &sink).write_all(&recs).unwrap();
+        assert!(
+            manifest.shards.len() >= 10,
+            "expected ~11 shards, got {}",
+            manifest.shards.len()
+        );
+        // Order preserved across shards.
+        let reader = ShardReader::open("t", &sink).unwrap();
+        assert_eq!(reader.read_all().unwrap(), recs);
+        // All but the last shard should be near target size.
+        for s in &manifest.shards[..manifest.shards.len() - 1] {
+            assert!(s.bytes <= 10_000 + 1020, "shard {} too large", s.name);
+        }
+    }
+
+    #[test]
+    fn oversized_record_gets_own_shard() {
+        let sink = MemSink::new();
+        let recs = vec![vec![1u8; 50_000], vec![2u8; 10], vec![3u8; 10]];
+        let manifest = ShardWriter::new(ShardSpec::new("big", 1000), &sink)
+            .write_all(&recs)
+            .unwrap();
+        assert_eq!(manifest.shards[0].records, 1);
+        let reader = ShardReader::open("big", &sink).unwrap();
+        assert_eq!(reader.read_all().unwrap(), recs);
+    }
+
+    #[test]
+    fn compressed_shards_round_trip() {
+        let sink = MemSink::new();
+        let recs: Vec<Vec<u8>> = (0..20).map(|i| vec![i as u8; 4096]).collect();
+        for codec in [CodecId::Rle, CodecId::Lz, CodecId::Delta { width: 1 }] {
+            let prefix = format!("c-{}", codec.name());
+            let spec = ShardSpec::new(prefix.clone(), 1 << 20).with_codec(codec);
+            let manifest = ShardWriter::new(spec, &sink).write_all(&recs).unwrap();
+            assert_eq!(manifest.codec, codec);
+            let reader = ShardReader::open(&prefix, &sink).unwrap();
+            assert_eq!(reader.read_all().unwrap(), recs, "{codec:?}");
+            // RLE/LZ on constant records must actually shrink the files.
+            if codec != (CodecId::Delta { width: 1 }) {
+                let stored: u64 = manifest.shards.iter().map(|s| s.bytes).sum();
+                assert!(stored < 20 * 4096 / 4, "{codec:?} stored {stored}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_manifest() {
+        let sink = MemSink::new();
+        let manifest = ShardWriter::new(ShardSpec::new("empty", 1000), &sink)
+            .write_all(Vec::<Vec<u8>>::new())
+            .unwrap();
+        assert_eq!(manifest.total_records, 0);
+        assert!(manifest.shards.is_empty());
+        let reader = ShardReader::open("empty", &sink).unwrap();
+        assert!(reader.read_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn manifest_json_round_trip() {
+        let m = ShardManifest {
+            prefix: "x".into(),
+            codec: CodecId::Lz,
+            shards: vec![ShardInfo {
+                name: "x-00000.shard".into(),
+                records: 3,
+                bytes: 456,
+                crc32c: 0xDEAD_BEEF,
+            }],
+            total_records: 3,
+            payload_bytes: 999,
+        };
+        let j = m.to_json();
+        let back = ShardManifest::from_json(&j).unwrap();
+        assert_eq!(back, m);
+        let reparsed = Json::parse(&j.to_string_compact()).unwrap();
+        assert_eq!(ShardManifest::from_json(&reparsed).unwrap(), m);
+    }
+
+    #[test]
+    fn corrupted_record_detected() {
+        let sink = MemSink::new();
+        let recs = records(5, 200);
+        ShardWriter::new(ShardSpec::new("corrupt", 1 << 20), &sink)
+            .write_all(&recs)
+            .unwrap();
+        let name = "corrupt-00000.shard";
+        let mut data = sink.read_file(name).unwrap();
+        let n = data.len();
+        data[n / 2] ^= 0xFF;
+        sink.write_file(name, &data).unwrap();
+        let reader = ShardReader::open("corrupt", &sink).unwrap();
+        match reader.read_shard(0) {
+            Err(IoError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_shard_detected() {
+        let sink = MemSink::new();
+        let recs = records(5, 200);
+        ShardWriter::new(ShardSpec::new("trunc", 1 << 20), &sink)
+            .write_all(&recs)
+            .unwrap();
+        let name = "trunc-00000.shard";
+        let data = sink.read_file(name).unwrap();
+        sink.write_file(name, &data[..data.len() - 10]).unwrap();
+        let reader = ShardReader::open("trunc", &sink).unwrap();
+        assert!(reader.read_shard(0).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = parse_shard(b"NOTASHARDFILE", "x", CodecId::Raw).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
+    }
+
+    #[test]
+    fn codec_mismatch_rejected() {
+        let sink = MemSink::new();
+        ShardWriter::new(ShardSpec::new("cm", 1000).with_codec(CodecId::Rle), &sink)
+            .write_all(records(2, 50))
+            .unwrap();
+        let data = sink.read_file("cm-00000.shard").unwrap();
+        let err = parse_shard(&data, "cm", CodecId::Raw).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
+    }
+}

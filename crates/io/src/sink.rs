@@ -1,0 +1,249 @@
+//! Storage backends for shard output.
+//!
+//! The shard engine writes through a [`StorageSink`] so the same pipeline
+//! can target a real filesystem ([`LocalFs`]), an in-memory store
+//! ([`MemSink`], used by tests), or the simulated striped parallel
+//! filesystem in `drai-sim` (which implements this trait to model
+//! Lustre-style OST striping for the scaling experiments).
+
+use crate::IoError;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Component, Path, PathBuf};
+use std::sync::Arc;
+
+/// A flat namespace of named byte blobs. Names may contain `/` separators;
+/// backends create intermediate directories as needed. Implementations must
+/// be thread-safe: parallel shard writers call `write_file` concurrently.
+pub trait StorageSink: Send + Sync {
+    /// Write (create or replace) a named blob.
+    fn write_file(&self, name: &str, data: &[u8]) -> Result<(), IoError>;
+    /// Read a named blob in full.
+    fn read_file(&self, name: &str) -> Result<Vec<u8>, IoError>;
+    /// List all blob names, sorted.
+    fn list(&self) -> Result<Vec<String>, IoError>;
+    /// Remove a blob (ok if absent).
+    fn delete(&self, name: &str) -> Result<(), IoError>;
+    /// True if the blob exists.
+    fn exists(&self, name: &str) -> bool {
+        self.read_file(name).is_ok()
+    }
+}
+
+fn validate_name(name: &str) -> Result<(), IoError> {
+    if name.is_empty() {
+        return Err(IoError::Format("empty blob name".into()));
+    }
+    let p = Path::new(name);
+    for c in p.components() {
+        match c {
+            Component::Normal(_) => {}
+            _ => {
+                return Err(IoError::Format(format!(
+                    "blob name {name:?} must be a relative path without '..'"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Filesystem-backed sink rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct LocalFs {
+    root: PathBuf,
+}
+
+impl LocalFs {
+    /// Sink rooted at `root` (created if missing).
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self, IoError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(LocalFs { root })
+    }
+
+    /// Root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, name: &str) -> Result<PathBuf, IoError> {
+        validate_name(name)?;
+        Ok(self.root.join(name))
+    }
+}
+
+impl StorageSink for LocalFs {
+    fn write_file(&self, name: &str, data: &[u8]) -> Result<(), IoError> {
+        let path = self.path_of(name)?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        // Write-then-rename so a concurrent reader never observes a
+        // partially written shard.
+        let tmp = path.with_extension("tmp-write");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn read_file(&self, name: &str) -> Result<Vec<u8>, IoError> {
+        Ok(fs::read(self.path_of(name)?)?)
+    }
+
+    fn list(&self) -> Result<Vec<String>, IoError> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            for entry in fs::read_dir(&dir)? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if let Ok(rel) = path.strip_prefix(&self.root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn delete(&self, name: &str) -> Result<(), IoError> {
+        let path = self.path_of(name)?;
+        match fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path_of(name).map(|p| p.exists()).unwrap_or(false)
+    }
+}
+
+/// In-memory sink for tests and benchmarks that must exclude disk effects.
+#[derive(Debug, Default, Clone)]
+pub struct MemSink {
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl MemSink {
+    /// Empty in-memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes currently stored.
+    pub fn total_bytes(&self) -> usize {
+        self.files.lock().values().map(Vec::len).sum()
+    }
+
+    /// Number of stored blobs.
+    pub fn file_count(&self) -> usize {
+        self.files.lock().len()
+    }
+}
+
+impl StorageSink for MemSink {
+    fn write_file(&self, name: &str, data: &[u8]) -> Result<(), IoError> {
+        validate_name(name)?;
+        self.files.lock().insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn read_file(&self, name: &str) -> Result<Vec<u8>, IoError> {
+        self.files
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| IoError::Format(format!("no such blob: {name}")))
+    }
+
+    fn list(&self) -> Result<Vec<String>, IoError> {
+        Ok(self.files.lock().keys().cloned().collect())
+    }
+
+    fn delete(&self, name: &str) -> Result<(), IoError> {
+        self.files.lock().remove(name);
+        Ok(())
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.files.lock().contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(sink: &dyn StorageSink) {
+        sink.write_file("a.bin", b"hello").unwrap();
+        sink.write_file("sub/dir/b.bin", b"world").unwrap();
+        assert_eq!(sink.read_file("a.bin").unwrap(), b"hello");
+        assert_eq!(sink.read_file("sub/dir/b.bin").unwrap(), b"world");
+        assert!(sink.exists("a.bin"));
+        assert!(!sink.exists("missing.bin"));
+        let names = sink.list().unwrap();
+        assert!(names.contains(&"a.bin".to_string()));
+        assert!(names.contains(&"sub/dir/b.bin".to_string()));
+        // Overwrite.
+        sink.write_file("a.bin", b"replaced").unwrap();
+        assert_eq!(sink.read_file("a.bin").unwrap(), b"replaced");
+        // Delete (idempotent).
+        sink.delete("a.bin").unwrap();
+        sink.delete("a.bin").unwrap();
+        assert!(!sink.exists("a.bin"));
+        assert!(sink.read_file("a.bin").is_err());
+    }
+
+    #[test]
+    fn mem_sink_semantics() {
+        let sink = MemSink::new();
+        exercise(&sink);
+        assert_eq!(sink.file_count(), 1);
+        assert_eq!(sink.total_bytes(), 5);
+    }
+
+    #[test]
+    fn local_fs_semantics() {
+        let dir = std::env::temp_dir().join(format!("drai-io-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = LocalFs::new(&dir).unwrap();
+        exercise(&sink);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_escaping_names() {
+        let sink = MemSink::new();
+        assert!(sink.write_file("../evil", b"x").is_err());
+        assert!(sink.write_file("/abs", b"x").is_err());
+        assert!(sink.write_file("", b"x").is_err());
+        assert!(sink.write_file("ok/../evil", b"x").is_err());
+    }
+
+    #[test]
+    fn concurrent_writes() {
+        let sink = MemSink::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let sink = &sink;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        sink.write_file(&format!("t{t}/f{i}"), &[t as u8; 64]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.file_count(), 400);
+    }
+}

@@ -1,0 +1,174 @@
+//! Elementwise and reduction operations used by preprocessing kernels.
+
+use crate::dtype::Element;
+use crate::tensor::{Tensor, TensorError};
+
+/// Reduce along the leading axis with `f`, producing a tensor of the
+/// trailing shape. E.g. summing a `[T, H, W]` field stack over time yields
+/// an `[H, W]` map.
+pub fn reduce_axis0<T: Element>(
+    t: &Tensor<T>,
+    init: T,
+    f: impl Fn(T, T) -> T,
+) -> Result<Tensor<T>, TensorError> {
+    if t.rank() == 0 {
+        return Err(TensorError::AxisOutOfRange { axis: 0, rank: 0 });
+    }
+    let inner: usize = t.shape()[1..].iter().product();
+    let mut acc = vec![init; inner];
+    for lane in t.lanes() {
+        for (a, &x) in acc.iter_mut().zip(lane.as_slice()) {
+            *a = f(*a, x);
+        }
+    }
+    Tensor::from_vec(acc, &t.shape()[1..])
+}
+
+/// Per-position mean along the leading axis (f64 accumulation).
+pub fn mean_axis0<T: Element>(t: &Tensor<T>) -> Result<Tensor<f64>, TensorError> {
+    if t.rank() == 0 {
+        return Err(TensorError::AxisOutOfRange { axis: 0, rank: 0 });
+    }
+    let n = t.shape()[0];
+    let inner: usize = t.shape()[1..].iter().product();
+    let mut acc = vec![0.0_f64; inner];
+    for lane in t.lanes() {
+        for (a, &x) in acc.iter_mut().zip(lane.as_slice()) {
+            *a += x.to_f64();
+        }
+    }
+    if n > 0 {
+        for a in &mut acc {
+            *a /= n as f64;
+        }
+    }
+    Tensor::from_vec(acc, &t.shape()[1..])
+}
+
+/// Index of the maximum element in a flat tensor (`None` when empty or all
+/// NaN). Ties resolve to the first occurrence.
+pub fn argmax<T: Element>(t: &Tensor<T>) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, x) in t.as_slice().iter().enumerate() {
+        let v = x.to_f64();
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if v <= b => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Clamp all elements into `[lo, hi]` in place (via f64).
+pub fn clamp_inplace<T: Element>(t: &mut Tensor<T>, lo: f64, hi: f64) {
+    t.map_inplace(|x| {
+        let v = x.to_f64();
+        if v < lo {
+            T::from_f64(lo)
+        } else if v > hi {
+            T::from_f64(hi)
+        } else {
+            x
+        }
+    });
+}
+
+/// Dot product of two equally shaped tensors (f64 accumulation).
+pub fn dot<T: Element>(a: &Tensor<T>, b: &Tensor<T>) -> Result<f64, TensorError> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::IncompatibleShapes {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+        });
+    }
+    Ok(a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| x.to_f64() * y.to_f64())
+        .sum())
+}
+
+/// L2 norm of all elements.
+pub fn l2_norm<T: Element>(t: &Tensor<T>) -> f64 {
+    t.as_slice()
+        .iter()
+        .map(|x| {
+            let v = x.to_f64();
+            v * v
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Fraction of elements that are NaN (always 0 for integer dtypes).
+pub fn nan_fraction<T: Element>(t: &Tensor<T>) -> f64 {
+    if t.is_empty() {
+        return 0.0;
+    }
+    let nans = t.as_slice().iter().filter(|x| x.to_f64().is_nan()).count();
+    nans as f64 / t.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_axis0_sums() {
+        let t = Tensor::from_vec((1..=6).map(|i| i as f64).collect(), &[3, 2]).unwrap();
+        let s = reduce_axis0(&t, 0.0, |a, b| a + b).unwrap();
+        assert_eq!(s.shape(), &[2]);
+        assert_eq!(s.as_slice(), &[9.0, 12.0]);
+    }
+
+    #[test]
+    fn mean_axis0_matches_manual() {
+        let t = Tensor::from_vec(vec![1.0_f32, 3.0, 5.0, 7.0], &[2, 2]).unwrap();
+        let m = mean_axis0(&t).unwrap();
+        assert_eq!(m.as_slice(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn argmax_ignores_nan() {
+        let t = Tensor::from_vec(vec![1.0_f64, f64::NAN, 5.0, 3.0], &[4]).unwrap();
+        assert_eq!(argmax(&t), Some(2));
+        let all_nan = Tensor::from_vec(vec![f64::NAN; 3], &[3]).unwrap();
+        assert_eq!(argmax(&all_nan), None);
+        let empty = Tensor::<f64>::zeros(&[0]);
+        assert_eq!(argmax(&empty), None);
+    }
+
+    #[test]
+    fn argmax_first_tie() {
+        let t = Tensor::from_vec(vec![2, 7, 7, 1_i32], &[4]).unwrap();
+        assert_eq!(argmax(&t), Some(1));
+    }
+
+    #[test]
+    fn clamp_limits() {
+        let mut t = Tensor::from_vec(vec![-5.0_f32, 0.5, 9.0], &[3]).unwrap();
+        clamp_inplace(&mut t, 0.0, 1.0);
+        assert_eq!(t.as_slice(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = Tensor::from_vec(vec![3.0_f64, 4.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0_f64, 2.0], &[2]).unwrap();
+        assert_eq!(dot(&a, &b).unwrap(), 11.0);
+        assert_eq!(l2_norm(&a), 5.0);
+        let c = Tensor::<f64>::zeros(&[3]);
+        assert!(dot(&a, &c).is_err());
+    }
+
+    #[test]
+    fn nan_fraction_counts() {
+        let t = Tensor::from_vec(vec![1.0_f64, f64::NAN, 3.0, f64::NAN], &[4]).unwrap();
+        assert_eq!(nan_fraction(&t), 0.5);
+        let i = Tensor::from_vec(vec![1, 2, 3_i64], &[3]).unwrap();
+        assert_eq!(nan_fraction(&i), 0.0);
+    }
+}

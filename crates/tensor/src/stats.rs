@@ -1,0 +1,484 @@
+//! Streaming statistics for normalization and data-quality reporting.
+//!
+//! The paper's pipelines normalize "by mean and standard deviation" computed
+//! over terabyte-scale inputs; a two-pass computation is not an option at
+//! that volume. [`Welford`] provides the numerically stable single-pass
+//! update plus Chan's parallel merge, so statistics can be reduced across
+//! shards/threads. [`P2Quantile`] implements the P² algorithm (Jain &
+//! Chlamtac, 1985) for constant-memory quantile estimation used by robust
+//! scaling and outlier detection.
+
+/// Numerically stable single-pass mean/variance accumulator with min/max.
+///
+/// Uses Welford's algorithm; `merge` implements the pairwise combination
+/// (Chan et al.), making it a commutative monoid suitable for parallel
+/// reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    nan_count: u64,
+}
+
+impl Default for Welford {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            nan_count: 0,
+        }
+    }
+
+    /// Add one observation. NaNs are counted separately and excluded from
+    /// the moments, matching the "handle missing values" preprocessing step.
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            self.nan_count += 1;
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Add a slice of observations.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Combine with another accumulator (parallel reduction step).
+    pub fn merge(&self, other: &Welford) -> Welford {
+        if self.count == 0 {
+            let mut r = *other;
+            r.nan_count += self.nan_count;
+            return r;
+        }
+        if other.count == 0 {
+            let mut r = *self;
+            r.nan_count += other.nan_count;
+            return r;
+        }
+        let count = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / count as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / count as f64;
+        Welford {
+            count,
+            mean,
+            m2,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            nan_count: self.nan_count + other.nan_count,
+        }
+    }
+
+    /// Number of non-NaN observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of NaN observations skipped.
+    pub fn nan_count(&self) -> u64 {
+        self.nan_count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 when fewer than 1 observation).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0 when fewer than 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (+inf when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (-inf when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// P² (piecewise-parabolic) streaming quantile estimator.
+///
+/// Tracks five markers whose heights approximate the target quantile without
+/// storing observations. Accuracy is ample for robust scaling and outlier
+/// thresholds on unimodal science data; exactness is not required (and the
+/// estimator is exact for the first five observations).
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    heights: [f64; 5],
+    positions: [f64; 5],
+    desired: [f64; 5],
+    increments: [f64; 5],
+    count: usize,
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Estimator for quantile `q` in (0, 1).
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// Add an observation (NaNs ignored).
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            self.initial.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            if self.initial.len() == 5 {
+                self.heights.copy_from_slice(&self.initial);
+            }
+            return;
+        }
+
+        // Locate the cell containing x and update extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments.iter()) {
+            *d += *inc;
+        }
+
+        // Adjust interior markers with the parabolic formula, falling back
+        // to linear interpolation when the parabola would break ordering.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = d.signum();
+                let hp = self.parabolic(i, d);
+                if self.heights[i - 1] < hp && hp < self.heights[i + 1] {
+                    self.heights[i] = hp;
+                } else {
+                    self.heights[i] = self.linear(i, d);
+                }
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+    }
+
+    /// Current quantile estimate. `None` before any observation.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.initial.len() < 5 {
+            // Exact quantile on the few stored observations.
+            let idx = ((self.initial.len() - 1) as f64 * self.q).round() as usize;
+            return Some(self.initial[idx]);
+        }
+        Some(self.heights[2])
+    }
+
+    /// Observations seen (excluding NaN).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// Fixed-bin histogram over a known range, used by quality reports to
+/// detect class imbalance and coverage gaps.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Histogram with `nbins` equal-width bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(nbins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record an observation (NaN ignored).
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let i = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[i] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count below range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count at or above range top.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Imbalance ratio: max bin count / mean bin count of non-empty support.
+    /// 1.0 means perfectly uniform; large values signal class imbalance
+    /// (a Table 1 readiness challenge for materials data).
+    pub fn imbalance_ratio(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        let nonzero = self.bins.iter().filter(|&&c| c > 0).count();
+        let mean = total as f64 / nonzero.max(1) as f64;
+        let max = *self.bins.iter().max().expect("nbins > 0") as f64;
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0).collect();
+        let mut w = Welford::new();
+        w.extend(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-10);
+        assert!((w.variance() - var).abs() < 1e-10);
+        assert_eq!(w.count(), 1000);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).cos() * 3.0).collect();
+        let (a, b) = xs.split_at(137);
+        let mut wa = Welford::new();
+        wa.extend(a);
+        let mut wb = Welford::new();
+        wb.extend(b);
+        let merged = wa.merge(&wb);
+        let mut seq = Welford::new();
+        seq.extend(&xs);
+        assert!((merged.mean() - seq.mean()).abs() < 1e-10);
+        assert!((merged.variance() - seq.variance()).abs() < 1e-10);
+        assert_eq!(merged.min(), seq.min());
+        assert_eq!(merged.max(), seq.max());
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut w = Welford::new();
+        w.extend(&[1.0, 2.0, 3.0]);
+        let e = Welford::new();
+        assert_eq!(w.merge(&e), w);
+        assert_eq!(e.merge(&w), w);
+    }
+
+    #[test]
+    fn welford_skips_nan() {
+        let mut w = Welford::new();
+        w.extend(&[1.0, f64::NAN, 3.0, f64::NAN]);
+        assert_eq!(w.count(), 2);
+        assert_eq!(w.nan_count(), 2);
+        assert_eq!(w.mean(), 2.0);
+    }
+
+    #[test]
+    fn welford_sample_variance() {
+        let mut w = Welford::new();
+        w.extend(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2_median_on_uniform() {
+        let mut q = P2Quantile::new(0.5);
+        // Deterministic pseudo-random uniform stream.
+        let mut state = 0x2545F4914F6CDD1D_u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = (state >> 11) as f64 / (1u64 << 53) as f64;
+            q.push(x);
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.02, "median estimate {est}");
+    }
+
+    #[test]
+    fn p2_tail_quantile() {
+        let mut q = P2Quantile::new(0.95);
+        for i in 0..10_000 {
+            q.push(i as f64);
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 9500.0).abs() < 100.0, "p95 estimate {est}");
+    }
+
+    #[test]
+    fn p2_exact_for_small_n() {
+        let mut q = P2Quantile::new(0.5);
+        q.push(10.0);
+        assert_eq!(q.estimate(), Some(10.0));
+        q.push(20.0);
+        q.push(30.0);
+        assert_eq!(q.estimate(), Some(20.0));
+    }
+
+    #[test]
+    fn p2_handles_nan_and_empty() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), None);
+        q.push(f64::NAN);
+        assert_eq!(q.estimate(), None);
+        assert_eq!(q.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1)")]
+    fn p2_rejects_bad_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_range() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        h.push(-1.0);
+        h.push(10.0);
+        h.push(f64::NAN);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert!(h.bins().iter().all(|&c| c == 1));
+        assert!((h.imbalance_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_imbalance() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        for _ in 0..90 {
+            h.push(0.5);
+        }
+        for _ in 0..10 {
+            h.push(1.5);
+        }
+        assert!((h.imbalance_ratio() - 1.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,484 @@
+//! Owned, row-major n-dimensional arrays.
+
+use crate::dtype::{DType, Element};
+use crate::view::TensorView;
+use std::fmt;
+
+/// Errors produced by tensor construction and reshaping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Element count does not match the product of the shape.
+    ShapeMismatch {
+        /// Number of elements supplied.
+        elements: usize,
+        /// Requested shape.
+        shape: Vec<usize>,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Offending axis.
+        axis: usize,
+        /// Tensor rank.
+        rank: usize,
+    },
+    /// An index along an axis exceeded that axis's length.
+    IndexOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Axis length.
+        len: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    IncompatibleShapes {
+        /// Left-hand shape.
+        left: Vec<usize>,
+        /// Right-hand shape.
+        right: Vec<usize>,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { elements, shape } => write!(
+                f,
+                "cannot shape {elements} elements into {shape:?} ({} expected)",
+                shape.iter().product::<usize>()
+            ),
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for axis of length {len}")
+            }
+            TensorError::IncompatibleShapes { left, right } => {
+                write!(f, "incompatible shapes {left:?} vs {right:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Compute row-major (C-order) strides for a shape, in elements.
+pub(crate) fn row_major_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// An owned, contiguous, row-major n-dimensional array.
+///
+/// This is deliberately minimal: the DRAI pipelines need shaped numeric
+/// buffers with slicing, elementwise math, axis reductions and serialization
+/// — not a full BLAS. Parallelism is applied by callers over the *leading*
+/// axis (samples / timesteps / records), which `lanes`/`index_axis0` make
+/// cheap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor<T: Element> {
+    data: Vec<T>,
+    shape: Vec<usize>,
+}
+
+impl<T: Element> Tensor<T> {
+    /// Build a tensor from a flat vector and a shape.
+    pub fn from_vec(data: Vec<T>, shape: &[usize]) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(TensorError::ShapeMismatch {
+                elements: data.len(),
+                shape: shape.to_vec(),
+            });
+        }
+        Ok(Tensor {
+            data,
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: T) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor {
+            data: vec![value; n],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// A zero-filled tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::full(shape, T::zero())
+    }
+
+    /// Build by evaluating `f` at each flat index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> T) -> Self {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(&mut f).collect();
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Runtime dtype tag.
+    pub fn dtype(&self) -> DType {
+        T::DTYPE
+    }
+
+    /// Flat, row-major element slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat element slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the flat element vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        row_major_strides(&self.shape)
+    }
+
+    /// Flat offset of a multi-index. Panics in debug builds on rank mismatch.
+    fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.shape.len() {
+            return Err(TensorError::AxisOutOfRange {
+                axis: index.len(),
+                rank: self.shape.len(),
+            });
+        }
+        let strides = self.strides();
+        let mut off = 0;
+        for (axis, (&i, (&len, &s))) in index
+            .iter()
+            .zip(self.shape.iter().zip(strides.iter()))
+            .enumerate()
+        {
+            if i >= len {
+                let _ = axis;
+                return Err(TensorError::IndexOutOfRange { index: i, len });
+            }
+            off += i * s;
+        }
+        Ok(off)
+    }
+
+    /// Element at a multi-index.
+    pub fn get(&self, index: &[usize]) -> Result<T, TensorError> {
+        Ok(self.data[self.offset(index)?])
+    }
+
+    /// Set the element at a multi-index.
+    pub fn set(&mut self, index: &[usize], value: T) -> Result<(), TensorError> {
+        let off = self.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    pub fn reshape(mut self, shape: &[usize]) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if self.data.len() != expected {
+            return Err(TensorError::ShapeMismatch {
+                elements: self.data.len(),
+                shape: shape.to_vec(),
+            });
+        }
+        self.shape = shape.to_vec();
+        Ok(self)
+    }
+
+    /// Borrow the whole tensor as a view.
+    pub fn view(&self) -> TensorView<'_, T> {
+        TensorView::new(&self.data, &self.shape)
+    }
+
+    /// Zero-copy subtensor at `index` along axis 0 (e.g. one sample of a
+    /// batch, one timestep of a field).
+    pub fn index_axis0(&self, index: usize) -> Result<TensorView<'_, T>, TensorError> {
+        if self.shape.is_empty() {
+            return Err(TensorError::AxisOutOfRange { axis: 0, rank: 0 });
+        }
+        if index >= self.shape[0] {
+            return Err(TensorError::IndexOutOfRange {
+                index,
+                len: self.shape[0],
+            });
+        }
+        let inner: usize = self.shape[1..].iter().product();
+        Ok(TensorView::new(
+            &self.data[index * inner..(index + 1) * inner],
+            &self.shape[1..],
+        ))
+    }
+
+    /// Iterator over zero-copy slices along axis 0.
+    pub fn lanes(&self) -> impl Iterator<Item = TensorView<'_, T>> + '_ {
+        let n = if self.shape.is_empty() {
+            0
+        } else {
+            self.shape[0]
+        };
+        (0..n).map(move |i| self.index_axis0(i).expect("lane index in range"))
+    }
+
+    /// Contiguous range `[start, end)` along axis 0, zero-copy.
+    pub fn slice_axis0(&self, start: usize, end: usize) -> Result<TensorView<'_, T>, TensorError> {
+        if self.shape.is_empty() {
+            return Err(TensorError::AxisOutOfRange { axis: 0, rank: 0 });
+        }
+        if start > end || end > self.shape[0] {
+            return Err(TensorError::IndexOutOfRange {
+                index: end,
+                len: self.shape[0],
+            });
+        }
+        let inner: usize = self.shape[1..].iter().product();
+        let mut shape = self.shape.clone();
+        shape[0] = end - start;
+        Ok(TensorView::new_owned_shape(
+            &self.data[start * inner..end * inner],
+            shape,
+        ))
+    }
+
+    /// Elementwise map into a (possibly different-typed) new tensor.
+    pub fn map<U: Element>(&self, f: impl Fn(T) -> U) -> Tensor<U> {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// In-place elementwise transformation.
+    pub fn map_inplace(&mut self, f: impl Fn(T) -> T) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    pub fn zip_with(&self, other: &Tensor<T>, f: impl Fn(T, T) -> T) -> Result<Tensor<T>, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::IncompatibleShapes {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        Ok(Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Serialize elements as little-endian bytes (row-major).
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() * T::DTYPE.size_bytes());
+        for &x in &self.data {
+            x.write_le(&mut out);
+        }
+        out
+    }
+
+    /// Deserialize from little-endian bytes with a known shape.
+    pub fn from_le_bytes(bytes: &[u8], shape: &[usize]) -> Result<Self, TensorError> {
+        let n: usize = shape.iter().product();
+        let esz = T::DTYPE.size_bytes();
+        if bytes.len() != n * esz {
+            return Err(TensorError::ShapeMismatch {
+                elements: bytes.len() / esz,
+                shape: shape.to_vec(),
+            });
+        }
+        let data = bytes.chunks_exact(esz).map(T::read_le).collect();
+        Ok(Tensor {
+            data,
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Concatenate tensors along axis 0. All inputs must share trailing
+    /// dimensions. Used when aggregating samples across shots/files before
+    /// sharding.
+    pub fn concat_axis0(parts: &[Tensor<T>]) -> Result<Tensor<T>, TensorError> {
+        let first = parts.first().ok_or(TensorError::ShapeMismatch {
+            elements: 0,
+            shape: vec![],
+        })?;
+        let tail = &first.shape[1..];
+        let mut rows = 0usize;
+        for p in parts {
+            if p.shape.len() != first.shape.len() || &p.shape[1..] != tail {
+                return Err(TensorError::IncompatibleShapes {
+                    left: first.shape.clone(),
+                    right: p.shape.clone(),
+                });
+            }
+            rows += p.shape[0];
+        }
+        let mut data = Vec::with_capacity(rows * tail.iter().product::<usize>());
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        let mut shape = first.shape.clone();
+        shape[0] = rows;
+        Ok(Tensor { data, shape })
+    }
+}
+
+impl<T: Element> Tensor<T> {
+    /// Mean of all elements as f64; `None` for an empty tensor.
+    pub fn mean(&self) -> Option<f64> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.data.iter().map(|x| x.to_f64()).sum();
+        Some(sum / self.data.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_index() {
+        let t = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 4]).unwrap();
+        assert_eq!(t.rank(), 3);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.get(&[0, 0, 0]).unwrap(), 0.0);
+        assert_eq!(t.get(&[1, 2, 3]).unwrap(), 23.0);
+        assert_eq!(t.get(&[1, 0, 2]).unwrap(), 14.0);
+        assert!(t.get(&[2, 0, 0]).is_err());
+        assert!(t.get(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let err = Tensor::from_vec(vec![1.0_f64; 5], &[2, 3]).unwrap_err();
+        assert!(matches!(err, TensorError::ShapeMismatch { elements: 5, .. }));
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let t = Tensor::<f32>::zeros(&[2, 3, 4]);
+        assert_eq!(t.strides(), vec![12, 4, 1]);
+        let s = Tensor::<f32>::zeros(&[7]);
+        assert_eq!(s.strides(), vec![1]);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut t = Tensor::<i64>::zeros(&[3, 3]);
+        t.set(&[1, 2], 42).unwrap();
+        assert_eq!(t.get(&[1, 2]).unwrap(), 42);
+        assert_eq!(t.get(&[2, 1]).unwrap(), 0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1, 2, 3, 4, 5, 6_i32], &[2, 3]).unwrap();
+        let r = t.clone().reshape(&[3, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert_eq!(r.shape(), &[3, 2]);
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn axis0_views() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f64).collect(), &[3, 2]).unwrap();
+        let row1 = t.index_axis0(1).unwrap();
+        assert_eq!(row1.as_slice(), &[2.0, 3.0]);
+        assert_eq!(row1.shape(), &[2]);
+        assert!(t.index_axis0(3).is_err());
+
+        let mid = t.slice_axis0(1, 3).unwrap();
+        assert_eq!(mid.shape(), &[2, 2]);
+        assert_eq!(mid.as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn lanes_iterate_all_rows() {
+        let t = Tensor::from_vec((0..6).collect::<Vec<i32>>(), &[3, 2]).unwrap();
+        let sums: Vec<i32> = t.lanes().map(|l| l.as_slice().iter().sum()).collect();
+        assert_eq!(sums, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0], &[3]).unwrap();
+        let b = a.map(|x| x * 2.0);
+        assert_eq!(b.as_slice(), &[2.0, 4.0, 6.0]);
+        let c = a.zip_with(&b, |x, y| y - x).unwrap();
+        assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0]);
+        let d = Tensor::<f32>::zeros(&[2]);
+        assert!(a.zip_with(&d, |x, _| x).is_err());
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let t = Tensor::from_vec(vec![1.5_f64, -2.25, 3.125, 0.0], &[2, 2]).unwrap();
+        let bytes = t.to_le_bytes();
+        assert_eq!(bytes.len(), 32);
+        let back = Tensor::<f64>::from_le_bytes(&bytes, &[2, 2]).unwrap();
+        assert_eq!(back, t);
+        assert!(Tensor::<f64>::from_le_bytes(&bytes, &[3, 2]).is_err());
+    }
+
+    #[test]
+    fn concat_axis0_works() {
+        let a = Tensor::from_vec(vec![1, 2, 3, 4_i32], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5, 6_i32], &[1, 2]).unwrap();
+        let c = Tensor::concat_axis0(&[a.clone(), b]).unwrap();
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.as_slice(), &[1, 2, 3, 4, 5, 6]);
+        let bad = Tensor::from_vec(vec![1, 2, 3_i32], &[1, 3]).unwrap();
+        assert!(Tensor::concat_axis0(&[a, bad]).is_err());
+    }
+
+    #[test]
+    fn mean_of_elements() {
+        let t = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0], &[4]).unwrap();
+        assert_eq!(t.mean(), Some(2.5));
+        assert_eq!(Tensor::<f32>::zeros(&[0]).mean(), None);
+    }
+
+    #[test]
+    fn from_fn_fills_by_flat_index() {
+        let t = Tensor::from_fn(&[2, 2], |i| i as f64);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+}

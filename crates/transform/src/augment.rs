@@ -1,0 +1,245 @@
+//! Data augmentation for sample-starved scientific datasets
+//! ("rotating images, adding noise, and generating synthetic samples" —
+//! §2.1).
+//!
+//! Augmentations take an explicit RNG so pipelines remain reproducible and
+//! provenance can record the seed.
+
+use crate::TransformError;
+use drai_tensor::Tensor;
+use rand::Rng;
+
+/// Rotate a 2D field 90° clockwise `quarters` times.
+pub fn rotate90(field: &Tensor<f64>, quarters: u32) -> Result<Tensor<f64>, TransformError> {
+    if field.rank() != 2 {
+        return Err(TransformError::InvalidInput(format!(
+            "rotate90 needs rank 2, got {}",
+            field.rank()
+        )));
+    }
+    let mut cur = field.clone();
+    for _ in 0..quarters % 4 {
+        let (h, w) = (cur.shape()[0], cur.shape()[1]);
+        let mut out = Tensor::<f64>::zeros(&[w, h]);
+        for i in 0..h {
+            for j in 0..w {
+                let v = cur.get(&[i, j]).expect("in range");
+                out.set(&[j, h - 1 - i], v).expect("in range");
+            }
+        }
+        cur = out;
+    }
+    Ok(cur)
+}
+
+/// Mirror a 2D field horizontally (flip columns).
+pub fn flip_horizontal(field: &Tensor<f64>) -> Result<Tensor<f64>, TransformError> {
+    if field.rank() != 2 {
+        return Err(TransformError::InvalidInput(format!(
+            "flip needs rank 2, got {}",
+            field.rank()
+        )));
+    }
+    let (h, w) = (field.shape()[0], field.shape()[1]);
+    let mut out = Tensor::<f64>::zeros(&[h, w]);
+    for i in 0..h {
+        for j in 0..w {
+            let v = field.get(&[i, j]).expect("in range");
+            out.set(&[i, w - 1 - j], v).expect("in range");
+        }
+    }
+    Ok(out)
+}
+
+/// Add zero-mean Gaussian noise with standard deviation `sigma`
+/// (Box-Muller from the supplied RNG). NaNs pass through untouched.
+pub fn jitter<R: Rng>(values: &mut [f64], sigma: f64, rng: &mut R) -> Result<(), TransformError> {
+    if !(sigma >= 0.0) {
+        return Err(TransformError::InvalidInput(format!("sigma {sigma}")));
+    }
+    if sigma == 0.0 {
+        return Ok(());
+    }
+    for v in values.iter_mut() {
+        if v.is_nan() {
+            continue;
+        }
+        // Box-Muller transform.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        *v += sigma * z;
+    }
+    Ok(())
+}
+
+/// Mixup-style synthetic sample: `lambda * a + (1 - lambda) * b`.
+/// `lambda` is drawn uniformly from `[alpha, 1 - alpha]` (alpha < 0.5
+/// keeps samples near the originals).
+pub fn mixup<R: Rng>(
+    a: &[f64],
+    b: &[f64],
+    alpha: f64,
+    rng: &mut R,
+) -> Result<(Vec<f64>, f64), TransformError> {
+    if a.len() != b.len() {
+        return Err(TransformError::ShapeMismatch {
+            expected: format!("{}", a.len()),
+            got: format!("{}", b.len()),
+        });
+    }
+    if !(0.0..0.5).contains(&alpha) {
+        return Err(TransformError::InvalidInput(format!("alpha {alpha}")));
+    }
+    let lambda = rng.gen_range(alpha..=(1.0 - alpha));
+    let mixed = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| lambda * x + (1.0 - lambda) * y)
+        .collect();
+    Ok((mixed, lambda))
+}
+
+/// Expand a set of 2D samples with rotations/flips until `target` samples
+/// exist (keeps originals first; augmented copies cycle through the 7
+/// non-identity dihedral transforms).
+pub fn augment_to_count(
+    samples: &[Tensor<f64>],
+    target: usize,
+) -> Result<Vec<Tensor<f64>>, TransformError> {
+    if samples.is_empty() {
+        return Err(TransformError::InvalidInput("no samples to augment".into()));
+    }
+    let mut out: Vec<Tensor<f64>> = samples.to_vec();
+    let mut variant = 0usize;
+    let mut src = 0usize;
+    while out.len() < target {
+        let base = &samples[src % samples.len()];
+        let aug = match variant % 7 {
+            0 => rotate90(base, 1)?,
+            1 => rotate90(base, 2)?,
+            2 => rotate90(base, 3)?,
+            3 => flip_horizontal(base)?,
+            4 => rotate90(&flip_horizontal(base)?, 1)?,
+            5 => rotate90(&flip_horizontal(base)?, 2)?,
+            _ => rotate90(&flip_horizontal(base)?, 3)?,
+        };
+        out.push(aug);
+        src += 1;
+        if src % samples.len() == 0 {
+            variant += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn grid() -> Tensor<f64> {
+        Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap()
+    }
+
+    #[test]
+    fn rotate_quarter() {
+        let r = rotate90(&grid(), 1).unwrap();
+        assert_eq!(r.shape(), &[3, 2]);
+        // [1 2 3; 4 5 6] rotated CW → [4 1; 5 2; 6 3]
+        assert_eq!(r.as_slice(), &[4.0, 1.0, 5.0, 2.0, 6.0, 3.0]);
+    }
+
+    #[test]
+    fn rotate_full_circle_identity() {
+        let r = rotate90(&grid(), 4).unwrap();
+        assert_eq!(r, grid());
+        let r0 = rotate90(&grid(), 0).unwrap();
+        assert_eq!(r0, grid());
+    }
+
+    #[test]
+    fn flip_twice_identity() {
+        let f = flip_horizontal(&grid()).unwrap();
+        assert_eq!(f.as_slice(), &[3.0, 2.0, 1.0, 6.0, 5.0, 4.0]);
+        assert_eq!(flip_horizontal(&f).unwrap(), grid());
+    }
+
+    #[test]
+    fn rank_checked() {
+        let t = Tensor::<f64>::zeros(&[2, 2, 2]);
+        assert!(rotate90(&t, 1).is_err());
+        assert!(flip_horizontal(&t).is_err());
+    }
+
+    #[test]
+    fn jitter_statistics() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut values = vec![10.0; 20_000];
+        jitter(&mut values, 2.0, &mut rng).unwrap();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / values.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn jitter_preserves_nan_and_zero_sigma() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut values = vec![1.0, f64::NAN, 3.0];
+        jitter(&mut values, 0.0, &mut rng).unwrap();
+        assert_eq!(values[0], 1.0);
+        jitter(&mut values, 1.0, &mut rng).unwrap();
+        assert!(values[1].is_nan());
+        assert!(jitter(&mut values, -1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn jitter_reproducible() {
+        let mut a = vec![0.0; 100];
+        let mut b = vec![0.0; 100];
+        jitter(&mut a, 1.0, &mut SmallRng::seed_from_u64(7)).unwrap();
+        jitter(&mut b, 1.0, &mut SmallRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mixup_convexity() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = vec![0.0; 10];
+        let b = vec![10.0; 10];
+        let (mixed, lambda) = mixup(&a, &b, 0.2, &mut rng).unwrap();
+        assert!((0.2..=0.8).contains(&lambda));
+        for &v in &mixed {
+            assert!((v - (1.0 - lambda) * 10.0).abs() < 1e-12);
+            assert!((0.0..=10.0).contains(&v));
+        }
+        assert!(mixup(&a, &b[..5], 0.2, &mut rng).is_err());
+        assert!(mixup(&a, &b, 0.7, &mut rng).is_err());
+    }
+
+    #[test]
+    fn augment_reaches_target() {
+        let samples = vec![grid()];
+        let out = augment_to_count(&samples, 8).unwrap();
+        assert_eq!(out.len(), 8);
+        assert_eq!(out[0], grid()); // originals preserved
+        // All variants differ from each other (dihedral orbit of an
+        // asymmetric grid).
+        for i in 0..out.len() {
+            for j in i + 1..out.len() {
+                assert_ne!(out[i], out[j], "variants {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn augment_noop_when_enough() {
+        let samples = vec![grid(), grid()];
+        let out = augment_to_count(&samples, 2).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(augment_to_count(&[], 5).is_err());
+    }
+}

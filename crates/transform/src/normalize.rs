@@ -1,0 +1,328 @@
+//! Normalization: the universal preprocessing step ("normalizing by mean
+//! and standard deviation", Fig. 1).
+//!
+//! Statistics are fitted in a single streaming pass (Welford / P²) so they
+//! scale to shard-at-a-time reduction; `fit_parallel` merges per-chunk
+//! accumulators the way a rayon/MPI reduction would.
+
+use crate::TransformError;
+use drai_tensor::stats::{P2Quantile, Welford};
+
+/// Normalization method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `(x - mean) / std`.
+    ZScore,
+    /// `(x - min) / (max - min)` into [0, 1].
+    MinMax,
+    /// `(x - median) / IQR` — resistant to the outliers sensor glitches
+    /// leave in experimental (fusion) data.
+    Robust,
+}
+
+/// A fitted, reusable normalizer for one variable.
+///
+/// Fitting and application are separate so statistics computed on the
+/// training split can be applied to validation/test (avoiding leakage) and
+/// recorded in provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    method: Method,
+    /// Offset subtracted from values (mean / min / median).
+    pub offset: f64,
+    /// Scale divided out (std / range / IQR).
+    pub scale: f64,
+}
+
+impl Normalizer {
+    /// Fit on a stream of values (NaNs skipped).
+    pub fn fit(method: Method, values: &[f64]) -> Result<Normalizer, TransformError> {
+        match method {
+            Method::ZScore | Method::MinMax => {
+                let mut w = Welford::new();
+                w.extend(values);
+                Self::from_welford(method, &w)
+            }
+            Method::Robust => {
+                let mut q25 = P2Quantile::new(0.25);
+                let mut q50 = P2Quantile::new(0.5);
+                let mut q75 = P2Quantile::new(0.75);
+                for &v in values {
+                    q25.push(v);
+                    q50.push(v);
+                    q75.push(v);
+                }
+                let median = q50
+                    .estimate()
+                    .ok_or_else(|| TransformError::CannotFit("no finite values".into()))?;
+                let iqr = q75.estimate().unwrap_or(median) - q25.estimate().unwrap_or(median);
+                Ok(Normalizer {
+                    method,
+                    offset: median,
+                    scale: if iqr.abs() < f64::EPSILON { 1.0 } else { iqr },
+                })
+            }
+        }
+    }
+
+    /// Build from an already-reduced Welford accumulator (the parallel
+    /// path: fit per shard, merge, then construct once).
+    pub fn from_welford(method: Method, w: &Welford) -> Result<Normalizer, TransformError> {
+        if w.count() == 0 {
+            return Err(TransformError::CannotFit("no finite values".into()));
+        }
+        match method {
+            Method::ZScore => {
+                let std = w.std();
+                Ok(Normalizer {
+                    method,
+                    offset: w.mean(),
+                    scale: if std < f64::EPSILON { 1.0 } else { std },
+                })
+            }
+            Method::MinMax => {
+                let range = w.max() - w.min();
+                Ok(Normalizer {
+                    method,
+                    offset: w.min(),
+                    scale: if range < f64::EPSILON { 1.0 } else { range },
+                })
+            }
+            Method::Robust => Err(TransformError::InvalidInput(
+                "robust fit needs quantiles, not moments".into(),
+            )),
+        }
+    }
+
+    /// Fit on chunks as a parallel reduction (ZScore/MinMax only).
+    pub fn fit_parallel(
+        method: Method,
+        chunks: &[&[f64]],
+    ) -> Result<Normalizer, TransformError> {
+        let merged = chunks
+            .iter()
+            .map(|c| {
+                let mut w = Welford::new();
+                w.extend(c);
+                w
+            })
+            .fold(Welford::new(), |a, b| a.merge(&b));
+        Self::from_welford(method, &merged)
+    }
+
+    /// The method this normalizer was fitted with.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Apply to one value (NaN passes through for later imputation).
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        (x - self.offset) / self.scale
+    }
+
+    /// Apply in place to a slice.
+    pub fn apply_slice(&self, xs: &mut [f64]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+
+    /// Invert (for writing model outputs back in physical units).
+    #[inline]
+    pub fn invert(&self, y: f64) -> f64 {
+        y * self.scale + self.offset
+    }
+}
+
+/// Per-variable normalizers for multivariate data laid out `[n, nvars]`
+/// row-major — the shape climate/fusion feature matrices take before
+/// sharding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnNormalizer {
+    normalizers: Vec<Normalizer>,
+}
+
+impl ColumnNormalizer {
+    /// Fit one normalizer per column.
+    pub fn fit(
+        method: Method,
+        data: &[f64],
+        ncols: usize,
+    ) -> Result<ColumnNormalizer, TransformError> {
+        if ncols == 0 || data.len() % ncols != 0 {
+            return Err(TransformError::InvalidInput(format!(
+                "{} values not divisible into {ncols} columns",
+                data.len()
+            )));
+        }
+        let mut normalizers = Vec::with_capacity(ncols);
+        for c in 0..ncols {
+            let col: Vec<f64> = data.iter().skip(c).step_by(ncols).copied().collect();
+            normalizers.push(Normalizer::fit(method, &col)?);
+        }
+        Ok(ColumnNormalizer { normalizers })
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.normalizers.len()
+    }
+
+    /// Per-column normalizers.
+    pub fn columns(&self) -> &[Normalizer] {
+        &self.normalizers
+    }
+
+    /// Apply in place to `[n, ncols]` row-major data.
+    pub fn apply(&self, data: &mut [f64]) -> Result<(), TransformError> {
+        let ncols = self.normalizers.len();
+        if data.len() % ncols != 0 {
+            return Err(TransformError::ShapeMismatch {
+                expected: format!("multiple of {ncols}"),
+                got: format!("{}", data.len()),
+            });
+        }
+        for row in data.chunks_mut(ncols) {
+            for (x, n) in row.iter_mut().zip(&self.normalizers) {
+                *x = n.apply(*x);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<f64> {
+        (0..1000).map(|i| (i as f64 * 0.37).sin() * 12.0 + 7.0).collect()
+    }
+
+    #[test]
+    fn zscore_yields_zero_mean_unit_std() {
+        let data = sample();
+        let n = Normalizer::fit(Method::ZScore, &data).unwrap();
+        let out: Vec<f64> = data.iter().map(|&x| n.apply(x)).collect();
+        let mut w = Welford::new();
+        w.extend(&out);
+        assert!(w.mean().abs() < 1e-10);
+        assert!((w.std() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn minmax_yields_unit_interval() {
+        let data = sample();
+        let n = Normalizer::fit(Method::MinMax, &data).unwrap();
+        let out: Vec<f64> = data.iter().map(|&x| n.apply(x)).collect();
+        let lo = out.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = out.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!((lo - 0.0).abs() < 1e-12 && (hi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robust_centers_on_median() {
+        let mut data = sample();
+        data.push(1e9); // extreme outlier
+        let n = Normalizer::fit(Method::Robust, &data).unwrap();
+        // Median of the sine data is ~7; the outlier must not drag offset.
+        assert!((n.offset - 7.0).abs() < 1.0, "offset {}", n.offset);
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let data = sample();
+        for method in [Method::ZScore, Method::MinMax, Method::Robust] {
+            let n = Normalizer::fit(method, &data).unwrap();
+            for &x in data.iter().take(50) {
+                assert!((n.invert(n.apply(x)) - x).abs() < 1e-9, "{method:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_input_does_not_divide_by_zero() {
+        let data = vec![5.0; 100];
+        for method in [Method::ZScore, Method::MinMax, Method::Robust] {
+            let n = Normalizer::fit(method, &data).unwrap();
+            let y = n.apply(5.0);
+            assert!(y.is_finite(), "{method:?} gave {y}");
+            assert_eq!(y, 0.0);
+        }
+    }
+
+    #[test]
+    fn nan_skipped_in_fit_passes_through_apply() {
+        let mut data = sample();
+        data[10] = f64::NAN;
+        let n = Normalizer::fit(Method::ZScore, &data).unwrap();
+        assert!(n.apply(f64::NAN).is_nan());
+        assert!(n.apply(7.0).is_finite());
+    }
+
+    #[test]
+    fn all_nan_cannot_fit() {
+        let data = vec![f64::NAN; 10];
+        assert!(matches!(
+            Normalizer::fit(Method::ZScore, &data),
+            Err(TransformError::CannotFit(_))
+        ));
+        assert!(Normalizer::fit(Method::Robust, &data).is_err());
+        assert!(Normalizer::fit(Method::MinMax, &[]).is_err());
+    }
+
+    #[test]
+    fn parallel_fit_matches_sequential() {
+        let data = sample();
+        let seq = Normalizer::fit(Method::ZScore, &data).unwrap();
+        let (a, rest) = data.split_at(333);
+        let (b, c) = rest.split_at(333);
+        let par = Normalizer::fit_parallel(Method::ZScore, &[a, b, c]).unwrap();
+        assert!((par.offset - seq.offset).abs() < 1e-10);
+        assert!((par.scale - seq.scale).abs() < 1e-10);
+    }
+
+    #[test]
+    fn column_normalizer_per_variable() {
+        // Two columns with very different ranges.
+        let mut data = Vec::new();
+        for i in 0..100 {
+            data.push(i as f64); // col 0: 0..100
+            data.push(i as f64 * 1000.0 + 5.0); // col 1: huge scale
+        }
+        let cn = ColumnNormalizer::fit(Method::ZScore, &data, 2).unwrap();
+        assert_eq!(cn.ncols(), 2);
+        let mut out = data.clone();
+        cn.apply(&mut out).unwrap();
+        // Each column independently standardized.
+        for c in 0..2 {
+            let col: Vec<f64> = out.iter().skip(c).step_by(2).copied().collect();
+            let mut w = Welford::new();
+            w.extend(&col);
+            assert!(w.mean().abs() < 1e-9, "col {c}");
+            assert!((w.std() - 1.0).abs() < 1e-9, "col {c}");
+        }
+    }
+
+    #[test]
+    fn column_normalizer_shape_checks() {
+        assert!(ColumnNormalizer::fit(Method::ZScore, &[1.0, 2.0, 3.0], 2).is_err());
+        assert!(ColumnNormalizer::fit(Method::ZScore, &[1.0, 2.0], 0).is_err());
+        let cn = ColumnNormalizer::fit(Method::ZScore, &[1.0, 2.0, 3.0, 4.0], 2).unwrap();
+        let mut bad = vec![1.0; 3];
+        assert!(cn.apply(&mut bad).is_err());
+    }
+
+    #[test]
+    fn apply_slice_in_place() {
+        let n = Normalizer {
+            method: Method::ZScore,
+            offset: 10.0,
+            scale: 2.0,
+        };
+        let mut xs = vec![10.0, 12.0, 8.0];
+        n.apply_slice(&mut xs);
+        assert_eq!(xs, vec![0.0, 1.0, -1.0]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Spatial regridding for lat-lon fields — the climate archetype's
+//! signature transform (`download → regrid → normalize → shard`).
+//!
+//! Two schemes, matching what real pipelines use:
+//!
+//! * [`bilinear`] — smooth interpolation of cell-center values; the choice
+//!   for state fields (temperature, pressure) in ClimaX/Pangu-Weather.
+//! * [`conservative`] — first-order area-weighted remapping that exactly
+//!   preserves the global area integral; required for flux-like fields
+//!   (precipitation) where physical conservation matters (§2.2's "adherence
+//!   to physical constraints").
+
+use crate::TransformError;
+use drai_tensor::LatLonGrid;
+
+fn check_field(grid: &LatLonGrid, field: &[f64]) -> Result<(), TransformError> {
+    if field.len() != grid.ncells() {
+        return Err(TransformError::ShapeMismatch {
+            expected: format!("{} cells ({}x{})", grid.ncells(), grid.nlat(), grid.nlon()),
+            got: format!("{}", field.len()),
+        });
+    }
+    Ok(())
+}
+
+/// Bilinear interpolation from `src` grid to `dst` grid.
+///
+/// Longitude wraps periodically; latitude clamps at the poles. NaN source
+/// cells poison only the destination cells that interpolate from them.
+pub fn bilinear(
+    src_grid: &LatLonGrid,
+    src: &[f64],
+    dst_grid: &LatLonGrid,
+) -> Result<Vec<f64>, TransformError> {
+    check_field(src_grid, src)?;
+    let (snlat, snlon) = (src_grid.nlat(), src_grid.nlon());
+    let mut out = Vec::with_capacity(dst_grid.ncells());
+    for di in 0..dst_grid.nlat() {
+        let lat = dst_grid.lat_center(di);
+        // Fractional row index in source cell-center space.
+        let fi = (lat + 90.0) / src_grid.dlat() - 0.5;
+        let i0 = fi.floor();
+        let ti = fi - i0;
+        let i0 = i0 as isize;
+        let (i0c, i1c) = (
+            i0.clamp(0, snlat as isize - 1) as usize,
+            (i0 + 1).clamp(0, snlat as isize - 1) as usize,
+        );
+        for dj in 0..dst_grid.nlon() {
+            let lon = dst_grid.lon_center(dj);
+            let fj = lon / src_grid.dlon() - 0.5;
+            let j0 = fj.floor();
+            let tj = fj - j0;
+            let j0 = j0 as isize;
+            // Periodic wrap in longitude.
+            let j0w = j0.rem_euclid(snlon as isize) as usize;
+            let j1w = (j0 + 1).rem_euclid(snlon as isize) as usize;
+
+            let v00 = src[i0c * snlon + j0w];
+            let v01 = src[i0c * snlon + j1w];
+            let v10 = src[i1c * snlon + j0w];
+            let v11 = src[i1c * snlon + j1w];
+            let top = v00 * (1.0 - tj) + v01 * tj;
+            let bot = v10 * (1.0 - tj) + v11 * tj;
+            out.push(top * (1.0 - ti) + bot * ti);
+        }
+    }
+    Ok(out)
+}
+
+/// First-order conservative remapping.
+///
+/// Each destination cell's value is the area-weighted average of the
+/// source cells overlapping it, so the global area-weighted integral is
+/// preserved exactly (up to floating point). NaN source cells are treated
+/// as missing: they contribute no area, and a destination cell whose
+/// overlap is entirely missing becomes NaN.
+pub fn conservative(
+    src_grid: &LatLonGrid,
+    src: &[f64],
+    dst_grid: &LatLonGrid,
+) -> Result<Vec<f64>, TransformError> {
+    check_field(src_grid, src)?;
+    let (snlat, snlon) = (src_grid.nlat(), src_grid.nlon());
+    let mut out = Vec::with_capacity(dst_grid.ncells());
+
+    // Precompute 1D overlaps: lat overlaps give sin-weighted fractions,
+    // lon overlaps plain length fractions (the spherical area element
+    // factorizes as dλ · d(sin φ)).
+    let lat_overlaps: Vec<Vec<(usize, f64)>> = (0..dst_grid.nlat())
+        .map(|di| {
+            let (ds, dn) = dst_grid.lat_bounds(di);
+            let mut row = Vec::new();
+            // Source rows possibly overlapping.
+            let first = (((ds + 90.0) / src_grid.dlat()).floor() as isize).max(0) as usize;
+            let last =
+                ((((dn + 90.0) / src_grid.dlat()).ceil() as isize).min(snlat as isize)) as usize;
+            for si in first..last {
+                let (ss, sn) = src_grid.lat_bounds(si);
+                let lo = ds.max(ss);
+                let hi = dn.min(sn);
+                if hi > lo {
+                    let w = hi.to_radians().sin() - lo.to_radians().sin();
+                    row.push((si, w));
+                }
+            }
+            row
+        })
+        .collect();
+
+    let lon_overlaps: Vec<Vec<(usize, f64)>> = (0..dst_grid.nlon())
+        .map(|dj| {
+            let (dw, de) = dst_grid.lon_bounds(dj);
+            let mut row = Vec::new();
+            let first = ((dw / src_grid.dlon()).floor() as isize).max(0) as usize;
+            let last = (((de / src_grid.dlon()).ceil() as isize).min(snlon as isize)) as usize;
+            for sj in first..last {
+                let (sw, se) = src_grid.lon_bounds(sj);
+                let lo = dw.max(sw);
+                let hi = de.min(se);
+                if hi > lo {
+                    row.push((sj, hi - lo));
+                }
+            }
+            row
+        })
+        .collect();
+
+    for di in 0..dst_grid.nlat() {
+        for dj in 0..dst_grid.nlon() {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for &(si, wi) in &lat_overlaps[di] {
+                for &(sj, wj) in &lon_overlaps[dj] {
+                    let v = src[si * snlon + sj];
+                    if v.is_nan() {
+                        continue;
+                    }
+                    let w = wi * wj;
+                    num += w * v;
+                    den += w;
+                }
+            }
+            out.push(if den > 0.0 { num / den } else { f64::NAN });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_field(grid: &LatLonGrid) -> Vec<f64> {
+        (0..grid.nlat())
+            .flat_map(|i| {
+                (0..grid.nlon()).map(move |j| (i as f64 * 0.3).sin() + (j as f64 * 0.2).cos())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bilinear_preserves_constant() {
+        let src = LatLonGrid::global(16, 32);
+        let dst = LatLonGrid::global(11, 23);
+        let field = vec![42.0; src.ncells()];
+        let out = bilinear(&src, &field, &dst).unwrap();
+        assert!(out.iter().all(|&v| (v - 42.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn bilinear_identity_on_same_grid() {
+        let g = LatLonGrid::global(8, 16);
+        let field = smooth_field(&g);
+        let out = bilinear(&g, &field, &g).unwrap();
+        for (a, b) in out.iter().zip(&field) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bilinear_downsample_reasonable() {
+        // Smooth field downsampled then upsampled should roughly match.
+        let fine = LatLonGrid::global(32, 64);
+        let coarse = LatLonGrid::global(16, 32);
+        let field: Vec<f64> = (0..fine.ncells())
+            .map(|k| {
+                let i = k / 64;
+                let j = k % 64;
+                (i as f64 / 32.0 * std::f64::consts::PI).sin()
+                    * (j as f64 / 64.0 * 2.0 * std::f64::consts::PI).cos()
+            })
+            .collect();
+        let down = bilinear(&fine, &field, &coarse).unwrap();
+        let up = bilinear(&coarse, &down, &fine).unwrap();
+        let rms: f64 = (field
+            .iter()
+            .zip(&up)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / field.len() as f64)
+            .sqrt();
+        assert!(rms < 0.05, "round-trip rms {rms}");
+    }
+
+    #[test]
+    fn conservative_preserves_global_integral() {
+        let src = LatLonGrid::global(24, 48);
+        let dst = LatLonGrid::global(8, 16); // exact 3x coarsening
+        let field = smooth_field(&src);
+        let out = conservative(&src, &field, &dst).unwrap();
+        let src_mean = src.area_weighted_mean(&field).unwrap();
+        let dst_mean = dst.area_weighted_mean(&out).unwrap();
+        assert!(
+            (src_mean - dst_mean).abs() < 1e-10,
+            "integral drift: {src_mean} vs {dst_mean}"
+        );
+    }
+
+    #[test]
+    fn conservative_nonmultiple_grids_still_conserve() {
+        let src = LatLonGrid::global(18, 36);
+        let dst = LatLonGrid::global(7, 13);
+        let field = smooth_field(&src);
+        let out = conservative(&src, &field, &dst).unwrap();
+        let src_mean = src.area_weighted_mean(&field).unwrap();
+        let dst_mean = dst.area_weighted_mean(&out).unwrap();
+        assert!(
+            (src_mean - dst_mean).abs() < 1e-9,
+            "integral drift: {src_mean} vs {dst_mean}"
+        );
+    }
+
+    #[test]
+    fn conservative_constant_field() {
+        let src = LatLonGrid::global(10, 20);
+        let dst = LatLonGrid::global(3, 7);
+        let field = vec![7.5; src.ncells()];
+        let out = conservative(&src, &field, &dst).unwrap();
+        assert!(out.iter().all(|&v| (v - 7.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn conservative_handles_missing() {
+        let src = LatLonGrid::global(4, 4);
+        let dst = LatLonGrid::global(2, 2);
+        let mut field = vec![1.0; 16];
+        // Poison one source cell; its destination cell still averages the
+        // remaining overlap.
+        field[0] = f64::NAN;
+        let out = conservative(&src, &field, &dst).unwrap();
+        assert!(out.iter().all(|v| !v.is_nan()));
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        // All-NaN source → NaN destination.
+        let all_nan = vec![f64::NAN; 16];
+        let out2 = conservative(&src, &all_nan, &dst).unwrap();
+        assert!(out2.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let src = LatLonGrid::global(4, 4);
+        let dst = LatLonGrid::global(2, 2);
+        assert!(bilinear(&src, &[1.0; 5], &dst).is_err());
+        assert!(conservative(&src, &[1.0; 5], &dst).is_err());
+    }
+
+    #[test]
+    fn bilinear_wraps_longitude() {
+        // Field with a sharp feature at the dateline; interpolating near
+        // lon=0 must see both sides.
+        let src = LatLonGrid::global(4, 8);
+        let mut field = vec![0.0; src.ncells()];
+        for i in 0..4 {
+            field[i * 8] = 1.0; // first column
+            field[i * 8 + 7] = 1.0; // last column
+        }
+        // Destination with twice the lon resolution: cells between the
+        // last and first source columns should interpolate to 1.0.
+        let dst = LatLonGrid::global(4, 16);
+        let out = bilinear(&src, &field, &dst).unwrap();
+        // dst lon index 0 has center 11.25°, between src centers 337.5°
+        // (j=7) and 22.5° (j=0) — both 1.0.
+        assert!((out[0] - 1.0).abs() < 1e-12, "wrap failed: {}", out[0]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Deterministic train/validation/test splitting (the step before
+//! sharding in Fig. 1).
+//!
+//! Splits are assigned by hashing a stable per-sample key (shot id, file
+//! name, patient pseudonym) rather than by position, so: (1) re-running
+//! the pipeline on a superset of the data keeps old samples in their old
+//! splits, and (2) group integrity can be enforced — all windows of one
+//! fusion shot, or all records of one patient, land in the same split
+//! (preventing leakage across splits).
+
+use crate::TransformError;
+use drai_io::checksum::fnv1a64;
+
+/// Which split a sample landed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Split {
+    /// Training set.
+    Train,
+    /// Validation set.
+    Validation,
+    /// Held-out test set.
+    Test,
+}
+
+impl Split {
+    /// Conventional directory/prefix name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Split::Train => "train",
+            Split::Validation => "val",
+            Split::Test => "test",
+        }
+    }
+}
+
+/// Split fractions; must sum to 1 (±1e-9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fractions {
+    /// Training fraction.
+    pub train: f64,
+    /// Validation fraction.
+    pub validation: f64,
+    /// Test fraction.
+    pub test: f64,
+}
+
+impl Fractions {
+    /// The common 80/10/10.
+    pub fn standard() -> Fractions {
+        Fractions {
+            train: 0.8,
+            validation: 0.1,
+            test: 0.1,
+        }
+    }
+
+    /// Validate non-negativity and unit sum.
+    pub fn validate(&self) -> Result<(), TransformError> {
+        let vals = [self.train, self.validation, self.test];
+        if vals.iter().any(|v| *v < 0.0) {
+            return Err(TransformError::InvalidInput("negative fraction".into()));
+        }
+        let sum: f64 = vals.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(TransformError::InvalidInput(format!(
+                "fractions sum to {sum}, expected 1"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Assign a split from a stable key. `seed` lets different experiments
+/// draw independent splits from the same keys.
+pub fn assign(key: &str, seed: u64, fractions: Fractions) -> Result<Split, TransformError> {
+    fractions.validate()?;
+    let mut buf = Vec::with_capacity(key.len() + 8);
+    buf.extend_from_slice(&seed.to_le_bytes());
+    buf.extend_from_slice(key.as_bytes());
+    // FNV-1a mixes low bits well but its high bits barely change across
+    // short, similar keys ("shot-1", "shot-2", ...); finish with a
+    // splitmix64 avalanche before taking the top 53 bits.
+    let mut h = fnv1a64(&buf);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    // Map to [0, 1) with 53-bit precision.
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    Ok(if u < fractions.train {
+        Split::Train
+    } else if u < fractions.train + fractions.validation {
+        Split::Validation
+    } else {
+        Split::Test
+    })
+}
+
+/// Partition `(key, payload)` pairs into the three splits, preserving
+/// input order within each split.
+pub fn partition<T>(
+    items: Vec<(String, T)>,
+    seed: u64,
+    fractions: Fractions,
+) -> Result<(Vec<T>, Vec<T>, Vec<T>), TransformError> {
+    fractions.validate()?;
+    let mut train = Vec::new();
+    let mut val = Vec::new();
+    let mut test = Vec::new();
+    for (key, payload) in items {
+        match assign(&key, seed, fractions)? {
+            Split::Train => train.push(payload),
+            Split::Validation => val.push(payload),
+            Split::Test => test.push(payload),
+        }
+    }
+    Ok((train, val, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic() {
+        let f = Fractions::standard();
+        for key in ["shot-176042", "patient-7", "file-x.nc"] {
+            assert_eq!(assign(key, 1, f).unwrap(), assign(key, 1, f).unwrap());
+        }
+    }
+
+    #[test]
+    fn fractions_approximately_respected() {
+        let f = Fractions::standard();
+        let mut counts: HashMap<Split, usize> = HashMap::new();
+        let n = 20_000;
+        for i in 0..n {
+            *counts.entry(assign(&format!("key-{i}"), 7, f).unwrap()).or_insert(0) += 1;
+        }
+        let frac = |s: Split| counts[&s] as f64 / n as f64;
+        assert!((frac(Split::Train) - 0.8).abs() < 0.02, "{}", frac(Split::Train));
+        assert!((frac(Split::Validation) - 0.1).abs() < 0.02);
+        assert!((frac(Split::Test) - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let f = Fractions::standard();
+        let n = 1000;
+        let moved = (0..n)
+            .filter(|i| {
+                let k = format!("k{i}");
+                assign(&k, 1, f).unwrap() != assign(&k, 2, f).unwrap()
+            })
+            .count();
+        // ~2 * 0.2 * 0.8 + ... of keys should change split; require some.
+        assert!(moved > n / 10, "only {moved} moved");
+    }
+
+    #[test]
+    fn group_integrity_by_shared_key() {
+        // All windows of a shot share its key → same split.
+        let f = Fractions::standard();
+        let shot_key = "shot-9";
+        let s0 = assign(shot_key, 3, f).unwrap();
+        for _window in 0..50 {
+            assert_eq!(assign(shot_key, 3, f).unwrap(), s0);
+        }
+    }
+
+    #[test]
+    fn stability_under_superset() {
+        // Adding new keys never moves existing keys.
+        let f = Fractions::standard();
+        let original: Vec<(String, Split)> = (0..500)
+            .map(|i| {
+                let k = format!("sample-{i}");
+                let s = assign(&k, 11, f).unwrap();
+                (k, s)
+            })
+            .collect();
+        // "Ingest" 500 more samples, then re-check the originals.
+        for i in 500..1000 {
+            let _ = assign(&format!("sample-{i}"), 11, f).unwrap();
+        }
+        for (k, s) in original {
+            assert_eq!(assign(&k, 11, f).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn partition_splits_payloads() {
+        let items: Vec<(String, usize)> =
+            (0..3000).map(|i| (format!("k{i}"), i)).collect();
+        let (train, val, test) = partition(items, 5, Fractions::standard()).unwrap();
+        assert_eq!(train.len() + val.len() + test.len(), 3000);
+        assert!(train.len() > 2000);
+        assert!(!val.is_empty());
+        assert!(!test.is_empty());
+        // Disjointness: payloads are unique indices.
+        let mut all: Vec<usize> = train.into_iter().chain(val).chain(test).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 3000);
+    }
+
+    #[test]
+    fn bad_fractions_rejected() {
+        let bad = Fractions {
+            train: 0.9,
+            validation: 0.2,
+            test: 0.1,
+        };
+        assert!(assign("x", 0, bad).is_err());
+        let neg = Fractions {
+            train: 1.2,
+            validation: -0.1,
+            test: -0.1,
+        };
+        assert!(neg.validate().is_err());
+    }
+
+    #[test]
+    fn degenerate_all_train() {
+        let f = Fractions {
+            train: 1.0,
+            validation: 0.0,
+            test: 0.0,
+        };
+        for i in 0..100 {
+            assert_eq!(assign(&format!("k{i}"), 0, f).unwrap(), Split::Train);
+        }
+    }
+
+    #[test]
+    fn split_names() {
+        assert_eq!(Split::Train.name(), "train");
+        assert_eq!(Split::Validation.name(), "val");
+        assert_eq!(Split::Test.name(), "test");
+    }
+}

@@ -1,0 +1,247 @@
+//! Unit consistency ("ensuring consistent units and formats" — §2.1).
+//!
+//! Scientific sources mix unit conventions freely (CMIP temperature in K,
+//! station data in °C; pressures in Pa vs hPa; energies in eV vs J). The
+//! registry performs dimension-checked linear conversions
+//! `y = scale * x + offset` so a pipeline can declare one canonical unit
+//! per variable and coerce every source into it.
+
+use crate::TransformError;
+
+/// Physical dimension of a unit (coarse: enough to reject nonsense
+/// conversions like K → Pa).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dimension {
+    /// Thermodynamic temperature.
+    Temperature,
+    /// Pressure.
+    Pressure,
+    /// Length.
+    Length,
+    /// Time.
+    Time,
+    /// Energy.
+    Energy,
+    /// Mass.
+    Mass,
+    /// Electric current.
+    Current,
+    /// Magnetic flux density.
+    MagneticField,
+    /// Dimensionless (fractions, ratios, counts).
+    Dimensionless,
+}
+
+/// A unit: dimension plus the affine map to that dimension's SI base.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Unit {
+    /// Canonical symbol.
+    pub symbol: &'static str,
+    /// Physical dimension.
+    pub dimension: Dimension,
+    /// `base = scale * value + offset`.
+    pub scale: f64,
+    /// Affine offset to base (nonzero only for temperatures).
+    pub offset: f64,
+}
+
+/// Look a unit up by symbol (case-sensitive; common aliases included).
+pub fn lookup(symbol: &str) -> Option<Unit> {
+    use Dimension::*;
+    let u = |symbol, dimension, scale, offset| Unit {
+        symbol,
+        dimension,
+        scale,
+        offset,
+    };
+    Some(match symbol {
+        // Temperature (base: K)
+        "K" => u("K", Temperature, 1.0, 0.0),
+        "degC" | "C" | "°C" => u("degC", Temperature, 1.0, 273.15),
+        "degF" | "F" | "°F" => u("degF", Temperature, 5.0 / 9.0, 459.67 * 5.0 / 9.0),
+        // Pressure (base: Pa)
+        "Pa" => u("Pa", Pressure, 1.0, 0.0),
+        "hPa" | "mbar" => u("hPa", Pressure, 100.0, 0.0),
+        "kPa" => u("kPa", Pressure, 1e3, 0.0),
+        "bar" => u("bar", Pressure, 1e5, 0.0),
+        "atm" => u("atm", Pressure, 101_325.0, 0.0),
+        // Length (base: m)
+        "m" => u("m", Length, 1.0, 0.0),
+        "cm" => u("cm", Length, 1e-2, 0.0),
+        "mm" => u("mm", Length, 1e-3, 0.0),
+        "km" => u("km", Length, 1e3, 0.0),
+        "angstrom" | "Å" => u("angstrom", Length, 1e-10, 0.0),
+        // Time (base: s)
+        "s" => u("s", Time, 1.0, 0.0),
+        "ms" => u("ms", Time, 1e-3, 0.0),
+        "us" | "µs" => u("us", Time, 1e-6, 0.0),
+        "min" => u("min", Time, 60.0, 0.0),
+        "h" | "hr" => u("h", Time, 3600.0, 0.0),
+        "day" => u("day", Time, 86_400.0, 0.0),
+        // Energy (base: J)
+        "J" => u("J", Energy, 1.0, 0.0),
+        "kJ" => u("kJ", Energy, 1e3, 0.0),
+        "eV" => u("eV", Energy, 1.602_176_634e-19, 0.0),
+        "keV" => u("keV", Energy, 1.602_176_634e-16, 0.0),
+        "MJ" => u("MJ", Energy, 1e6, 0.0),
+        // Mass (base: kg)
+        "kg" => u("kg", Mass, 1.0, 0.0),
+        "g" => u("g", Mass, 1e-3, 0.0),
+        "amu" | "u" => u("amu", Mass, 1.660_539_066_60e-27, 0.0),
+        // Current (base: A)
+        "A" => u("A", Current, 1.0, 0.0),
+        "kA" => u("kA", Current, 1e3, 0.0),
+        "MA" => u("MA", Current, 1e6, 0.0),
+        // Magnetic field (base: T)
+        "T" => u("T", MagneticField, 1.0, 0.0),
+        "mT" => u("mT", MagneticField, 1e-3, 0.0),
+        "G" | "gauss" => u("G", MagneticField, 1e-4, 0.0),
+        // Dimensionless
+        "1" | "" | "fraction" => u("1", Dimensionless, 1.0, 0.0),
+        "%" | "percent" => u("%", Dimensionless, 0.01, 0.0),
+        _ => return None,
+    })
+}
+
+/// A validated conversion between two units of one dimension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Conversion {
+    scale: f64,
+    offset: f64,
+}
+
+impl Conversion {
+    /// Build a conversion `from → to`, rejecting unknown symbols and
+    /// cross-dimension conversions.
+    pub fn between(from: &str, to: &str) -> Result<Conversion, TransformError> {
+        let f = lookup(from)
+            .ok_or_else(|| TransformError::InvalidInput(format!("unknown unit {from:?}")))?;
+        let t = lookup(to)
+            .ok_or_else(|| TransformError::InvalidInput(format!("unknown unit {to:?}")))?;
+        if f.dimension != t.dimension {
+            return Err(TransformError::InvalidInput(format!(
+                "cannot convert {from} ({:?}) to {to} ({:?})",
+                f.dimension, t.dimension
+            )));
+        }
+        // value_to = (scale_f * x + offset_f - offset_t) / scale_t
+        Ok(Conversion {
+            scale: f.scale / t.scale,
+            offset: (f.offset - t.offset) / t.scale,
+        })
+    }
+
+    /// Convert one value.
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        self.scale * x + self.offset
+    }
+
+    /// Convert a slice in place.
+    pub fn apply_slice(&self, xs: &mut [f64]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+}
+
+/// One-shot convenience conversion.
+pub fn convert(value: f64, from: &str, to: &str) -> Result<f64, TransformError> {
+    Ok(Conversion::between(from, to)?.apply(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn temperature_conversions() {
+        assert!(close(convert(0.0, "degC", "K").unwrap(), 273.15));
+        assert!(close(convert(273.15, "K", "degC").unwrap(), 0.0));
+        assert!(close(convert(32.0, "degF", "degC").unwrap(), 0.0));
+        assert!(close(convert(212.0, "degF", "K").unwrap(), 373.15));
+        assert!(close(convert(100.0, "degC", "degF").unwrap(), 212.0));
+    }
+
+    #[test]
+    fn pressure_conversions() {
+        assert!(close(convert(1013.25, "hPa", "Pa").unwrap(), 101_325.0));
+        assert!(close(convert(1.0, "atm", "hPa").unwrap(), 1013.25));
+        assert!(close(convert(1.0, "bar", "kPa").unwrap(), 100.0));
+    }
+
+    #[test]
+    fn fusion_units() {
+        assert!(close(convert(1.2, "MA", "A").unwrap(), 1.2e6));
+        assert!(close(convert(20_000.0, "G", "T").unwrap(), 2.0));
+        assert!(close(convert(10.0, "keV", "eV").unwrap(), 10_000.0));
+    }
+
+    #[test]
+    fn materials_units() {
+        assert!(close(convert(1.0, "angstrom", "m").unwrap(), 1e-10));
+        assert!(close(convert(12.0, "amu", "kg").unwrap(), 12.0 * 1.6605390666e-27));
+    }
+
+    #[test]
+    fn round_trips() {
+        for (a, b) in [
+            ("degC", "K"),
+            ("degF", "degC"),
+            ("hPa", "atm"),
+            ("eV", "J"),
+            ("min", "s"),
+            ("%", "1"),
+        ] {
+            let fwd = Conversion::between(a, b).unwrap();
+            let back = Conversion::between(b, a).unwrap();
+            for x in [-40.0, 0.0, 1.0, 1234.5] {
+                assert!(
+                    close(back.apply(fwd.apply(x)), x),
+                    "{a}<->{b} at {x}: {}",
+                    back.apply(fwd.apply(x))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_conversion() {
+        let c = Conversion::between("K", "K").unwrap();
+        assert_eq!(c.apply(300.0), 300.0);
+    }
+
+    #[test]
+    fn cross_dimension_rejected() {
+        assert!(Conversion::between("K", "Pa").is_err());
+        assert!(Conversion::between("m", "s").is_err());
+        assert!(Conversion::between("MA", "T").is_err());
+    }
+
+    #[test]
+    fn unknown_units_rejected() {
+        assert!(Conversion::between("parsec", "m").is_err());
+        assert!(Conversion::between("m", "cubits").is_err());
+        assert!(lookup("nonsense").is_none());
+    }
+
+    #[test]
+    fn slice_conversion() {
+        let c = Conversion::between("degC", "K").unwrap();
+        let mut temps = vec![0.0, 25.0, 100.0];
+        c.apply_slice(&mut temps);
+        assert!(close(temps[0], 273.15));
+        assert!(close(temps[1], 298.15));
+        assert!(close(temps[2], 373.15));
+    }
+
+    #[test]
+    fn percent_to_fraction() {
+        assert!(close(convert(45.0, "%", "1").unwrap(), 0.45));
+        assert!(close(convert(0.1, "1", "%").unwrap(), 10.0));
+    }
+}

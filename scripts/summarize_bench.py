@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Summarize criterion results (target/criterion) into a Markdown table.
+
+Usage: python3 scripts/summarize_bench.py [criterion_dir]
+"""
+import json
+import os
+import sys
+
+
+def fmt_time(ns: float) -> str:
+    if ns < 1e3:
+        return f"{ns:.1f} ns"
+    if ns < 1e6:
+        return f"{ns / 1e3:.2f} µs"
+    if ns < 1e9:
+        return f"{ns / 1e6:.2f} ms"
+    return f"{ns / 1e9:.3f} s"
+
+
+def main() -> None:
+    root = sys.argv[1] if len(sys.argv) > 1 else "target/criterion"
+    rows = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        if "estimates.json" not in filenames or not dirpath.endswith(os.sep + "new"):
+            continue
+        bench_dir = os.path.dirname(dirpath)
+        rel = os.path.relpath(bench_dir, root)
+        try:
+            with open(os.path.join(dirpath, "estimates.json")) as f:
+                est = json.load(f)
+            mean_ns = est["mean"]["point_estimate"]
+        except (OSError, KeyError, json.JSONDecodeError):
+            continue
+        rows.append((rel.replace(os.sep, "/"), mean_ns))
+    rows.sort()
+    print("| benchmark | mean |")
+    print("|---|---|")
+    for name, ns in rows:
+        print(f"| {name} | {fmt_time(ns)} |")
+
+
+if __name__ == "__main__":
+    main()

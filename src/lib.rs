@@ -1,0 +1,32 @@
+//! # drai — Data Readiness for Scientific AI at Scale
+//!
+//! Facade crate re-exporting the complete DRAI workspace: the readiness
+//! framework (`core`), the numeric substrate (`tensor`), scientific
+//! container formats (`formats`), the parallel shard/I-O engine (`io`),
+//! preprocessing kernels (`transform`), provenance capture (`provenance`),
+//! the simulated parallel filesystem (`sim`), and the four domain
+//! archetypes (`domains`).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and experiment index.
+//!
+//! ```
+//! use drai::core::{ReadinessAssessor, ReadinessLevel};
+//! use drai::domains::materials::{self, MaterialsConfig};
+//! use drai::io::sink::MemSink;
+//! use std::sync::Arc;
+//!
+//! let cfg = MaterialsConfig { structures: 4, cell_atoms: 2, ..MaterialsConfig::default() };
+//! let run = materials::run(&cfg, Arc::new(MemSink::new())).unwrap();
+//! let grade = ReadinessAssessor::new().assess(&run.manifest).unwrap();
+//! assert_eq!(grade.overall, ReadinessLevel::FullyAiReady);
+//! ```
+
+pub use drai_core as core;
+pub use drai_domains as domains;
+pub use drai_formats as formats;
+pub use drai_io as io;
+pub use drai_provenance as provenance;
+pub use drai_sim as sim;
+pub use drai_tensor as tensor;
+pub use drai_transform as transform;

@@ -1,0 +1,147 @@
+//! Framework-level integration: Table 1 templates validate the real
+//! domain pipelines, dataset cards generate from real runs, and the
+//! simulated parallel filesystem serves as a drop-in shard sink.
+
+use drai::core::card::DatasetCard;
+use drai::core::quality::QualityReport;
+use drai::core::templates::DomainTemplate;
+use drai::core::ReadinessAssessor;
+use drai::domains::{climate, fusion, materials};
+use drai::io::json::Json;
+use drai::io::sink::MemSink;
+use drai::provenance::Ledger;
+use drai::sim::{SimConfig, SimFs};
+use drai::tensor::LatLonGrid;
+use std::sync::Arc;
+
+#[test]
+fn templates_validate_real_domain_pipelines() {
+    // Build the actual pipelines (not run them) and check them against
+    // their declarative templates.
+    let sink: Arc<MemSink> = Arc::new(MemSink::new());
+    let ledger = Arc::new(Ledger::new());
+
+    let climate_p = climate::build_pipeline(
+        &climate::ClimateConfig::default(),
+        sink.clone(),
+        ledger.clone(),
+    );
+    assert!(
+        DomainTemplate::climate().validate(&climate_p).is_empty(),
+        "climate pipeline violates its template"
+    );
+
+    let fusion_p = fusion::build_pipeline(
+        &fusion::FusionConfig::default(),
+        sink.clone(),
+        ledger.clone(),
+    );
+    assert!(
+        DomainTemplate::fusion().validate(&fusion_p).is_empty(),
+        "fusion pipeline violates its template"
+    );
+
+    let materials_p = materials::build_pipeline(
+        &materials::MaterialsConfig::default(),
+        sink,
+        ledger,
+    );
+    assert!(
+        DomainTemplate::materials().validate(&materials_p).is_empty(),
+        "materials pipeline violates its template"
+    );
+}
+
+#[test]
+fn template_catalog_matches_table1() {
+    let all = DomainTemplate::all();
+    assert_eq!(all.len(), 4);
+    // Shard formats match the Table 1 architecture column's storage story.
+    let formats: Vec<&str> = all.iter().map(|t| t.shard_format).collect();
+    assert!(formats.contains(&"npz"));
+    assert!(formats.contains(&"tfrecord"));
+    assert!(formats.contains(&"h5lite+chacha20"));
+    assert!(formats.contains(&"bp+jsonl"));
+}
+
+#[test]
+fn dataset_card_from_real_run() {
+    let cfg = climate::ClimateConfig {
+        src_grid: LatLonGrid::global(12, 24),
+        dst_grid: LatLonGrid::global(8, 16),
+        timesteps: 8,
+        ..climate::ClimateConfig::default()
+    };
+    let sink = Arc::new(MemSink::new());
+    let run = climate::run(&cfg, sink).unwrap();
+    let assessment = ReadinessAssessor::new().assess(&run.manifest).unwrap();
+    // Quality from the raw synthetic fields.
+    let quality: Vec<QualityReport> = run
+        .manifest
+        .schema
+        .iter()
+        .map(|v| QualityReport::compute(&v.name, &[1.0, 2.0, 3.0]))
+        .collect();
+    let card = DatasetCard::new(run.manifest.clone(), assessment, quality);
+    let md = card.to_markdown();
+    assert!(md.contains("# Dataset card: cmip-synth"));
+    assert!(md.contains("5 - Fully AI-ready"));
+    assert!(md.contains("| tas | f32 | K |"));
+    // JSON card parses and carries the readiness level.
+    let json = Json::parse(&card.to_json().to_string_compact()).unwrap();
+    assert!(json
+        .get("readiness")
+        .unwrap()
+        .get("overall")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("Fully AI-ready"));
+}
+
+#[test]
+fn simulated_parallel_fs_serves_domain_pipeline() {
+    // The Lustre-like simulator is a valid StorageSink: run the whole
+    // materials archetype against it and check virtual I/O accrued.
+    let fs = SimFs::new(SimConfig {
+        ost_count: 16,
+        stripe_count: 8,
+        ..SimConfig::default()
+    })
+    .unwrap();
+    let cfg = materials::MaterialsConfig {
+        structures: 12,
+        cell_atoms: 2,
+        ..materials::MaterialsConfig::default()
+    };
+    let run = materials::run(&cfg, Arc::new(fs.clone())).unwrap();
+    assert!(!run.shard_files.is_empty());
+    assert!(fs.makespan() > 0.0, "no virtual I/O recorded");
+    let report = fs.ost_report();
+    let active = report.bytes_per_ost.iter().filter(|&&b| b > 0).count();
+    assert!(active >= 2, "striping did not spread load: {report:?}");
+    // The shards read back identically from the simulator.
+    let bytes = drai::io::sink::StorageSink::read_file(&fs, "materials/train.bp").unwrap();
+    let reader = drai::formats::bp::BpReader::open(&bytes).unwrap();
+    assert!(reader.group_count() > 0);
+    assert!(fs.total_read_bytes() > 0);
+}
+
+#[test]
+fn grib_and_netcdf_ingest_agree() {
+    let cfg = climate::ClimateConfig {
+        src_grid: LatLonGrid::global(8, 16),
+        dst_grid: LatLonGrid::global(4, 8),
+        timesteps: 6,
+        ..climate::ClimateConfig::default()
+    };
+    let sink = MemSink::new();
+    climate::generate_raw(&cfg, &sink).unwrap();
+    climate::generate_raw_grib(&cfg, &sink, drai::formats::grib::Packing { bits: 20 }).unwrap();
+    let grib_fields = climate::ingest_grib(&cfg, &sink).unwrap();
+    assert_eq!(grib_fields.len(), 4);
+    for f in &grib_fields {
+        assert_eq!(f.len(), cfg.timesteps * cfg.src_grid.ncells());
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}
