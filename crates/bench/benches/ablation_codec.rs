@@ -7,16 +7,24 @@
 //! payloads while structured codecs win big on indices and masks. This
 //! bench produces that crossover table.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use drai_bench::{mask_bytes, science_f32, timestamps_u64};
 use drai_io::codec::{codec_for, CodecId};
+use std::time::Duration;
 
 fn bench_codecs(c: &mut Criterion) {
     let n = 256 * 1024;
     let payloads: Vec<(&str, Vec<u8>, CodecId)> = vec![
-        ("float-field", science_f32(n / 4, 1), CodecId::Delta { width: 4 }),
-        ("timestamps", timestamps_u64(n / 8, 2), CodecId::Delta { width: 8 }),
+        (
+            "float-field",
+            science_f32(n / 4, 1),
+            CodecId::Delta { width: 4 },
+        ),
+        (
+            "timestamps",
+            timestamps_u64(n / 8, 2),
+            CodecId::Delta { width: 8 },
+        ),
         ("mask", mask_bytes(n, 3), CodecId::Rle),
     ];
 

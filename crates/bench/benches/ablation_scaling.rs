@@ -8,12 +8,12 @@
 //! `stripe_scaling` binary instead — criterion can only measure wall
 //! clocks.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use drai_core::pipeline::Pipeline;
 use drai_core::readiness::ProcessingStage;
 use drai_io::parallel::prefetch_map;
 use drai_transform::normalize::{Method, Normalizer};
+use std::time::Duration;
 
 fn heavy_stage(data: Vec<f64>) -> Vec<f64> {
     // Representative per-sample preprocessing cost: fit + apply + a

@@ -6,7 +6,6 @@
 //! dominates; too large → no parallelism) and container format
 //! (NPZ/TFRecord/h5lite/BP) at fixed payload.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use drai_bench::records;
 use drai_formats::bp::{BpVar, BpWriter, ProcessGroup};
@@ -16,6 +15,7 @@ use drai_formats::zip::{write_zip, ZipEntry};
 use drai_io::shard::{ShardReader, ShardSpec, ShardWriter};
 use drai_io::sink::MemSink;
 use drai_tensor::{DType, Tensor};
+use std::time::Duration;
 
 fn bench_shard_size(c: &mut Criterion) {
     let recs = records(2_000, 8 * 1024, 9); // 16 MiB payload

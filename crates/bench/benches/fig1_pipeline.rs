@@ -6,7 +6,6 @@
 //! multivariate tabular workload, producing the per-stage cost profile
 //! the figure implies but never quantifies.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use drai_bench::tabular;
 use drai_io::shard::{ShardSpec, ShardWriter};
@@ -16,6 +15,7 @@ use drai_transform::impute::{impute, Strategy};
 use drai_transform::label::threshold_labels;
 use drai_transform::normalize::{ColumnNormalizer, Method};
 use drai_transform::split::{assign, Fractions};
+use std::time::Duration;
 
 const COLS: usize = 16;
 

@@ -2,7 +2,6 @@
 //! `encode → anonymize → fuse → secure-shard` pattern, with a k-anonymity
 //! sweep and isolated encode/encrypt kernels.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use drai_domains::bio::{self, BioConfig};
 use drai_io::crypto::{chacha20_xor, derive_key};
@@ -10,6 +9,7 @@ use drai_io::sink::MemSink;
 use drai_transform::anonymize::{hash_identifier, k_anonymity};
 use drai_transform::encode::Alphabet;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn bench_bio(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_bio");

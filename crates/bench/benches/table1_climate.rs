@@ -2,7 +2,6 @@
 //! `download → regrid → normalize → shard` pattern, per stage and
 //! end-to-end, with a grid-size sweep.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use drai_domains::climate::{self, ClimateConfig};
 use drai_io::sink::MemSink;
@@ -10,6 +9,7 @@ use drai_tensor::LatLonGrid;
 use drai_transform::normalize::{Method, Normalizer};
 use drai_transform::regrid;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn cfg(nlat: usize) -> ClimateConfig {
     ClimateConfig {

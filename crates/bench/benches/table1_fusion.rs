@@ -2,12 +2,12 @@
 //! `extract → align → normalize → shard` pattern, with a shot-count sweep
 //! and isolated align/window kernels.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use drai_domains::fusion::{self, FusionConfig, ShotStore};
 use drai_io::sink::MemSink;
 use drai_transform::align::{align_channels, window, Clock};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn cfg(shots: usize) -> FusionConfig {
     FusionConfig {

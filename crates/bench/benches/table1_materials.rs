@@ -3,7 +3,6 @@
 //! sweep and the neighbor-search kernel isolated (cell list vs brute
 //! force — the O(N) vs O(N²) ablation).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use drai_domains::materials::{self, neighbor_pairs, MaterialsConfig};
 use drai_formats::xyz::parse_xyz;
@@ -11,6 +10,7 @@ use drai_io::sink::{MemSink, StorageSink};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn brute_force_pairs(positions: &[[f64; 3]], cutoff: f64) -> Vec<(usize, usize, f64)> {
     let mut out = Vec::new();

@@ -9,11 +9,10 @@
 //! the level after every transition, so the measured work provably maps
 //! to the matrix rows.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drai_bench::tabular;
 use drai_core::dataset::{DatasetManifest, Modality, VariableSpec};
 use drai_core::{ReadinessAssessor, ReadinessLevel};
-use drai_bench::tabular;
 use drai_io::shard::{ShardSpec, ShardWriter};
 use drai_io::sink::MemSink;
 use drai_tensor::LatLonGrid;
@@ -23,6 +22,7 @@ use drai_transform::label::threshold_labels;
 use drai_transform::normalize::{ColumnNormalizer, Method};
 use drai_transform::regrid;
 use drai_transform::split::{assign, Fractions};
+use std::time::Duration;
 
 const ROWS: usize = 20_000;
 const COLS: usize = 8;

@@ -22,7 +22,10 @@ fn main() {
 
     // Sweep 1: stripe count on a 64-OST system.
     println!("stripe-count sweep (64 OSTs, 4 MiB shards):");
-    println!("{:>8} {:>14} {:>16}", "stripes", "makespan (ms)", "agg BW (GB/s)");
+    println!(
+        "{:>8} {:>14} {:>16}",
+        "stripes", "makespan (ms)", "agg BW (GB/s)"
+    );
     let mut baseline = None;
     for stripe_count in [1usize, 2, 4, 8, 16, 32, 64] {
         let fs = SimFs::new(SimConfig {
@@ -47,7 +50,10 @@ fn main() {
 
     // Sweep 2: OST count at full-width striping (system scaling).
     println!("\nOST-count sweep (stripe over all OSTs):");
-    println!("{:>8} {:>14} {:>16}", "OSTs", "makespan (ms)", "agg BW (GB/s)");
+    println!(
+        "{:>8} {:>14} {:>16}",
+        "OSTs", "makespan (ms)", "agg BW (GB/s)"
+    );
     for ost_count in [1usize, 2, 4, 8, 16, 32, 64, 128] {
         let fs = SimFs::new(SimConfig {
             ost_count,
@@ -67,7 +73,10 @@ fn main() {
 
     // Sweep 3: shard size vs latency-dominated small files.
     println!("\nshard-size sweep (8 OSTs, stripe 4, latency 0.5 ms/op):");
-    println!("{:>12} {:>8} {:>14} {:>16}", "shard size", "files", "makespan (ms)", "agg BW (GB/s)");
+    println!(
+        "{:>12} {:>8} {:>14} {:>16}",
+        "shard size", "files", "makespan (ms)", "agg BW (GB/s)"
+    );
     for shard_kib in [64usize, 256, 1024, 4096, 16384] {
         let fs = SimFs::new(SimConfig::default()).expect("valid sim config");
         let manifest = ShardWriter::new(ShardSpec::new("sweep", shard_kib * 1024), &fs)
@@ -80,5 +89,14 @@ fn main() {
             fs.makespan() * 1e3,
             fs.achieved_bandwidth() / 1e9
         );
+    }
+
+    // Every shard write above ran through the instrumented I/O stack;
+    // persist the telemetry snapshot next to the criterion results so
+    // `scripts/summarize_bench.py` sweeps both.
+    let out = std::path::Path::new("target/criterion/telemetry");
+    match drai_bench::export_telemetry(out) {
+        Ok(paths) => println!("\ntelemetry exported to {}", paths[0].display()),
+        Err(e) => eprintln!("\ntelemetry export failed: {e}"),
     }
 }

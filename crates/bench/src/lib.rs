@@ -22,6 +22,40 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+
+/// Snapshot the global telemetry registry and persist it next to the
+/// criterion output so `scripts/summarize_bench.py` picks both up:
+///
+/// * `<dir>/telemetry.json` — the full snapshot (counters, gauges,
+///   histograms, spans) as one JSON document;
+/// * `<dir>/telemetry.jsonl` — the same data, one metric per line;
+/// * `<dir>/<metric path>/new/estimates.json` — one criterion-style
+///   estimate file per latency histogram, so histogram means appear in
+///   the same sweep as the bench timings.
+///
+/// Returns the paths written. Call at the end of a bench target (or any
+/// long-running driver) to dump everything instrumented during the run.
+pub fn export_telemetry(dir: impl AsRef<Path>) -> std::io::Result<Vec<PathBuf>> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let snap = drai_telemetry::Registry::global().snapshot();
+    let mut written = Vec::new();
+
+    let json_path = dir.join("telemetry.json");
+    std::fs::write(&json_path, snap.to_json())?;
+    written.push(json_path);
+
+    let jsonl_path = dir.join("telemetry.jsonl");
+    std::fs::write(&jsonl_path, snap.to_jsonl())?;
+    written.push(jsonl_path);
+
+    let n = drai_telemetry::write_criterion_estimates(&snap, dir)?;
+    if n > 0 {
+        written.push(dir.to_path_buf());
+    }
+    Ok(written)
+}
 
 /// Deterministic synthetic tabular dataset: `rows` samples × `cols`
 /// features with correlated structure, a configurable missing fraction,
@@ -123,6 +157,22 @@ mod tests {
         let mask = mask_bytes(100_000, 3);
         let enc = codec_for(CodecId::Rle).encode(&mask);
         assert!(enc.len() < mask.len() / 10, "rle ratio {}", enc.len());
+    }
+
+    #[test]
+    fn export_telemetry_writes_snapshot_and_estimates() {
+        let registry = drai_telemetry::Registry::global();
+        registry.counter("bench.test.counter").incr();
+        registry.histogram("bench.test.hist").record(1_000);
+        let dir = std::env::temp_dir().join(format!("drai-bench-telemetry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = export_telemetry(&dir).unwrap();
+        assert!(paths[0].ends_with("telemetry.json") && paths[0].is_file());
+        assert!(paths[1].ends_with("telemetry.jsonl") && paths[1].is_file());
+        let snap = std::fs::read_to_string(&paths[0]).unwrap();
+        assert!(snap.contains("\"bench.test.counter\""));
+        assert!(dir.join("bench/test/hist/new/estimates.json").is_file());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

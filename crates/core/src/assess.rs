@@ -104,10 +104,7 @@ impl ReadinessAssessor {
                 )
             }
             (L::Labeled, S::Transform) => {
-                need(
-                    m.normalized_initial,
-                    "no initial normalization",
-                )?;
+                need(m.normalized_initial, "no initial normalization")?;
                 if m.requires_anonymization {
                     need(m.anonymized, "PHI/PII present but not anonymized")?;
                 }
@@ -118,10 +115,9 @@ impl ReadinessAssessor {
                 m.high_throughput_ingest,
                 "ingestion not high-throughput/parallel",
             ),
-            (L::FeatureEngineered, S::Preprocess) => need(
-                m.aligned_standardized,
-                "alignment not fully standardized",
-            ),
+            (L::FeatureEngineered, S::Preprocess) => {
+                need(m.aligned_standardized, "alignment not fully standardized")
+            }
             (L::FeatureEngineered, S::Transform) => {
                 need(m.normalized_final, "normalization not finalized")?;
                 need(
@@ -129,26 +125,20 @@ impl ReadinessAssessor {
                     "labeling not comprehensive",
                 )
             }
-            (L::FeatureEngineered, S::Structure) => need(
-                m.features_extracted,
-                "domain features not extracted",
-            ),
-
-            (L::FullyAiReady, S::Ingest) => {
-                need(m.ingest_automated, "ingestion not automated")
+            (L::FeatureEngineered, S::Structure) => {
+                need(m.features_extracted, "domain features not extracted")
             }
-            (L::FullyAiReady, S::Preprocess) => need(
-                m.alignment_automated,
-                "alignment not integrated/automated",
-            ),
-            (L::FullyAiReady, S::Transform) => need(
-                m.transform_audited,
-                "transform not automated and audited",
-            ),
-            (L::FullyAiReady, S::Structure) => need(
-                m.features_validated,
-                "feature extraction not validated",
-            ),
+
+            (L::FullyAiReady, S::Ingest) => need(m.ingest_automated, "ingestion not automated"),
+            (L::FullyAiReady, S::Preprocess) => {
+                need(m.alignment_automated, "alignment not integrated/automated")
+            }
+            (L::FullyAiReady, S::Transform) => {
+                need(m.transform_audited, "transform not automated and audited")
+            }
+            (L::FullyAiReady, S::Structure) => {
+                need(m.features_validated, "feature extraction not validated")
+            }
             (L::FullyAiReady, S::Shard) => {
                 need(m.split_assigned, "train/val/test split not assigned")?;
                 need(m.sharded, "not sharded into binary formats")
@@ -268,7 +258,9 @@ mod tests {
 
     #[test]
     fn fully_ready_has_no_deficiencies() {
-        let a = ReadinessAssessor::new().assess(&manifest_at_level(5)).unwrap();
+        let a = ReadinessAssessor::new()
+            .assess(&manifest_at_level(5))
+            .unwrap();
         assert!(a.deficiencies.is_empty());
         assert!(a.blocking().is_none());
         for (_, l) in &a.per_stage {
@@ -278,7 +270,9 @@ mod tests {
 
     #[test]
     fn raw_dataset_blocked_at_cleaned() {
-        let a = ReadinessAssessor::new().assess(&manifest_at_level(1)).unwrap();
+        let a = ReadinessAssessor::new()
+            .assess(&manifest_at_level(1))
+            .unwrap();
         assert_eq!(a.overall, ReadinessLevel::Raw);
         let b = a.blocking().unwrap();
         assert_eq!(b.blocked_level, ReadinessLevel::Cleaned);
@@ -337,7 +331,10 @@ mod tests {
         let a = assessor.assess(&m).unwrap();
         assert_eq!(a.overall, ReadinessLevel::Labeled);
         m.label_coverage = 0.96;
-        assert_eq!(assessor.assess(&m).unwrap().overall, ReadinessLevel::FeatureEngineered);
+        assert_eq!(
+            assessor.assess(&m).unwrap().overall,
+            ReadinessLevel::FeatureEngineered
+        );
     }
 
     #[test]

@@ -131,10 +131,7 @@ impl DatasetCard {
             (
                 "readiness",
                 Json::obj([
-                    (
-                        "overall",
-                        Json::from(self.assessment.overall.to_string()),
-                    ),
+                    ("overall", Json::from(self.assessment.overall.to_string())),
                     (
                         "per_stage",
                         Json::Arr(
@@ -195,8 +192,14 @@ mod tests {
     fn warnings_catch_imbalance_and_labels() {
         let card = sample_card();
         let warnings = card.warnings();
-        assert!(warnings.iter().any(|w| w.contains("imbalance")), "{warnings:?}");
-        assert!(warnings.iter().any(|w| w.contains("label coverage")), "{warnings:?}");
+        assert!(
+            warnings.iter().any(|w| w.contains("imbalance")),
+            "{warnings:?}"
+        );
+        assert!(
+            warnings.iter().any(|w| w.contains("label coverage")),
+            "{warnings:?}"
+        );
     }
 
     #[test]
@@ -226,7 +229,12 @@ mod tests {
         let text = card.to_json().to_string_compact();
         let parsed = Json::parse(&text).unwrap();
         assert_eq!(
-            parsed.get("manifest").unwrap().get("name").unwrap().as_str(),
+            parsed
+                .get("manifest")
+                .unwrap()
+                .get("name")
+                .unwrap()
+                .as_str(),
             Some("card-test")
         );
         assert!(parsed.get("warnings").unwrap().as_arr().unwrap().len() >= 2);

@@ -185,12 +185,36 @@ impl DatasetManifest {
             )));
         }
         let implications = [
-            (self.normalized_final, self.normalized_initial, "normalized_final → normalized_initial"),
-            (self.aligned_standardized, self.aligned_initial, "aligned_standardized → aligned_initial"),
-            (self.alignment_automated, self.aligned_standardized, "alignment_automated → aligned_standardized"),
-            (self.features_validated, self.features_extracted, "features_validated → features_extracted"),
-            (self.ingest_automated, self.high_throughput_ingest, "ingest_automated → high_throughput_ingest"),
-            (self.transform_audited, self.normalized_final, "transform_audited → normalized_final"),
+            (
+                self.normalized_final,
+                self.normalized_initial,
+                "normalized_final → normalized_initial",
+            ),
+            (
+                self.aligned_standardized,
+                self.aligned_initial,
+                "aligned_standardized → aligned_initial",
+            ),
+            (
+                self.alignment_automated,
+                self.aligned_standardized,
+                "alignment_automated → aligned_standardized",
+            ),
+            (
+                self.features_validated,
+                self.features_extracted,
+                "features_validated → features_extracted",
+            ),
+            (
+                self.ingest_automated,
+                self.high_throughput_ingest,
+                "ingest_automated → high_throughput_ingest",
+            ),
+            (
+                self.transform_audited,
+                self.normalized_final,
+                "transform_audited → normalized_final",
+            ),
         ];
         for (a, b, what) in implications {
             if a && !b {
@@ -252,15 +276,24 @@ impl DatasetManifest {
                     ("standard_format", Json::from(self.standard_format)),
                     ("ingest_validated", Json::from(self.ingest_validated)),
                     ("metadata_enriched", Json::from(self.metadata_enriched)),
-                    ("high_throughput_ingest", Json::from(self.high_throughput_ingest)),
+                    (
+                        "high_throughput_ingest",
+                        Json::from(self.high_throughput_ingest),
+                    ),
                     ("ingest_automated", Json::from(self.ingest_automated)),
                     ("aligned_initial", Json::from(self.aligned_initial)),
-                    ("aligned_standardized", Json::from(self.aligned_standardized)),
+                    (
+                        "aligned_standardized",
+                        Json::from(self.aligned_standardized),
+                    ),
                     ("alignment_automated", Json::from(self.alignment_automated)),
                     ("normalized_initial", Json::from(self.normalized_initial)),
                     ("normalized_final", Json::from(self.normalized_final)),
                     ("transform_audited", Json::from(self.transform_audited)),
-                    ("requires_anonymization", Json::from(self.requires_anonymization)),
+                    (
+                        "requires_anonymization",
+                        Json::from(self.requires_anonymization),
+                    ),
                     ("anonymized", Json::from(self.anonymized)),
                     ("label_coverage", Json::from(self.label_coverage)),
                     ("features_extracted", Json::from(self.features_extracted)),
@@ -344,7 +377,11 @@ mod tests {
         let j = m.to_json();
         assert_eq!(j.get("name").unwrap().as_str(), Some("x"));
         assert_eq!(
-            j.get("evidence").unwrap().get("anonymized").unwrap().as_bool(),
+            j.get("evidence")
+                .unwrap()
+                .get("anonymized")
+                .unwrap()
+                .as_bool(),
             Some(true)
         );
         let schema = j.get("schema").unwrap().as_arr().unwrap();

@@ -2,10 +2,19 @@
 //! type, per-stage metrics, rayon batch execution, and the iterative
 //! refinement loop of Figure 1 ("data preparation outcomes inform
 //! subsequent model training, and model performance provides feedback").
+//!
+//! Every run also reports into the process-wide telemetry registry
+//! (`drai_telemetry::Registry::global`): `run` emits one span per stage
+//! named `pipeline.<pipeline>.<stage>` carrying the stage's record/byte
+//! counters, `run_batch` emits a `pipeline.<pipeline>.run_batch` span
+//! plus merged per-stage counters and latency histograms, and
+//! `run_iterative` wraps the whole feedback loop in a span whose item
+//! count is the number of passes.
 
 use crate::metrics::Throughput;
 use crate::readiness::ProcessingStage;
 use crate::CoreError;
+use drai_telemetry::Registry;
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
@@ -146,19 +155,40 @@ impl<T> Pipeline<T> {
         self.stages.iter().map(|s| s.kind).collect()
     }
 
-    /// Run sequentially on one artifact.
+    /// Run sequentially on one artifact, emitting one telemetry span
+    /// per stage.
     pub fn run(&self, input: T) -> Result<PipelineRun<T>, CoreError> {
+        self.run_inner(input, true)
+    }
+
+    /// Telemetry name for one of this pipeline's stages.
+    fn stage_metric(&self, stage: &str) -> String {
+        format!("pipeline.{}.{}", self.name, stage)
+    }
+
+    fn run_inner(&self, input: T, telemetry: bool) -> Result<PipelineRun<T>, CoreError> {
+        let registry = Registry::global();
         let mut current = input;
         let mut metrics = Vec::with_capacity(self.stages.len());
         for stage in &self.stages {
+            let span = telemetry.then(|| registry.span(self.stage_metric(&stage.name)));
             let start = Instant::now();
             let mut counters = StageCounters::default();
-            current = (stage.func)(current, &mut counters).map_err(|message| {
-                CoreError::Stage {
-                    stage: stage.name.clone(),
-                    message,
-                }
+            current = (stage.func)(current, &mut counters).map_err(|message| CoreError::Stage {
+                stage: stage.name.clone(),
+                message,
             })?;
+            if let Some(span) = &span {
+                span.add_items(counters.records);
+                span.add_bytes(counters.bytes);
+                let base = self.stage_metric(&stage.name);
+                registry
+                    .counter(&format!("{base}.records"))
+                    .add(counters.records);
+                registry
+                    .counter(&format!("{base}.bytes"))
+                    .add(counters.bytes);
+            }
             metrics.push(StageMetrics {
                 name: stage.name.clone(),
                 kind: stage.kind,
@@ -180,10 +210,19 @@ impl<T: Send> Pipeline<T> {
     /// Run the whole pipeline independently on many artifacts in
     /// parallel (rayon). Failures abort with the first error; outputs
     /// preserve input order. Per-item metrics are merged per stage.
+    ///
+    /// Telemetry: one `pipeline.<name>.run_batch` span for the batch
+    /// (items = batch size) plus merged per-stage counters and one
+    /// `pipeline.<name>.<stage>.ns` histogram observation per stage —
+    /// per-item spans are suppressed so large batches don't flood the
+    /// span log.
     pub fn run_batch(&self, items: Vec<T>) -> Result<(Vec<T>, Vec<StageMetrics>), CoreError> {
+        let registry = Registry::global();
+        let batch_span = registry.span(format!("pipeline.{}.run_batch", self.name));
+        batch_span.add_items(items.len() as u64);
         let results: Result<Vec<PipelineRun<T>>, CoreError> = items
             .into_par_iter()
-            .map(|item| self.run(item))
+            .map(|item| self.run_inner(item, false))
             .collect();
         let runs = results?;
         let mut merged: Vec<StageMetrics> = Vec::new();
@@ -197,6 +236,19 @@ impl<T: Send> Pipeline<T> {
                 }
             }
             outputs.push(run.output);
+        }
+        for m in &merged {
+            let base = self.stage_metric(&m.name);
+            registry
+                .counter(&format!("{base}.records"))
+                .add(m.throughput.records);
+            registry
+                .counter(&format!("{base}.bytes"))
+                .add(m.throughput.bytes);
+            registry
+                .histogram(&format!("{base}.ns"))
+                .record(m.throughput.elapsed.as_nanos() as u64);
+            batch_span.add_bytes(m.throughput.bytes);
         }
         Ok((outputs, merged))
     }
@@ -238,9 +290,13 @@ pub fn run_iterative<T>(
     mut refine: impl FnMut(T, &str) -> T,
 ) -> Result<IterativeRun<T>, CoreError> {
     assert!(max_passes > 0, "need at least one pass");
+    let registry = Registry::global();
+    let loop_span = registry.span(format!("pipeline.{}.run_iterative", pipeline.name));
+    let refine_counter = registry.counter(&format!("pipeline.{}.refinements", pipeline.name));
     let mut current = input;
     let mut refinements = Vec::new();
     for pass in 1..=max_passes {
+        loop_span.add_items(1); // one item per executed pass
         let run = pipeline.run(current)?;
         match evaluate(&run.output) {
             Feedback::Accept => {
@@ -261,6 +317,7 @@ pub fn run_iterative<T>(
                     });
                 }
                 current = refine(run.output, &reason);
+                refine_counter.incr();
                 refinements.push(reason);
             }
         }
@@ -388,6 +445,47 @@ mod tests {
         assert!(!result.converged);
         assert_eq!(result.passes, 3);
         assert_eq!(result.refinements.len(), 2); // last pass doesn't refine
+    }
+
+    #[test]
+    fn run_emits_telemetry_spans_and_counters() {
+        // Unique pipeline name: the global registry is shared with other
+        // tests in this process.
+        let p: Pipeline<Vec<f64>> = Pipeline::builder("telem-unit")
+            .stage("count", S::Ingest, |v: Vec<f64>, c| {
+                c.records = v.len() as u64;
+                c.bytes = (v.len() * 8) as u64;
+                Ok(v)
+            })
+            .build();
+        p.run(vec![1.0; 32]).unwrap();
+        let snap = drai_telemetry::Registry::global().snapshot();
+        let spans = snap.spans_named("pipeline.telem-unit.count");
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].dur_ns > 0);
+        assert_eq!(spans[0].items, 32);
+        assert_eq!(spans[0].bytes, 256);
+        assert_eq!(snap.counters["pipeline.telem-unit.count.records"], 32);
+        assert!(snap.histograms.contains_key("pipeline.telem-unit.count.ns"));
+    }
+
+    #[test]
+    fn run_batch_emits_merged_telemetry() {
+        let p: Pipeline<i32> = Pipeline::builder("telem-batch")
+            .stage("inc", S::Transform, |x, c| {
+                c.records = 1;
+                Ok(x + 1)
+            })
+            .build();
+        p.run_batch((0..16).collect()).unwrap();
+        let snap = drai_telemetry::Registry::global().snapshot();
+        let batch = snap.spans_named("pipeline.telem-batch.run_batch");
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].items, 16);
+        // Per-item spans are suppressed; merged counters remain.
+        assert!(snap.spans_named("pipeline.telem-batch.inc").is_empty());
+        assert_eq!(snap.counters["pipeline.telem-batch.inc.records"], 16);
+        assert_eq!(snap.histograms["pipeline.telem-batch.inc.ns"].count, 1);
     }
 
     #[test]

@@ -56,7 +56,8 @@ impl QualityReport {
         };
 
         let imbalance_ratio = if w.count() > 0 && w.max() > w.min() {
-            let mut h = Histogram::new(w.min(), w.max() + f64::EPSILON * w.max().abs().max(1.0), 16);
+            let mut h =
+                Histogram::new(w.min(), w.max() + f64::EPSILON * w.max().abs().max(1.0), 16);
             for &v in values {
                 h.push(v);
             }

@@ -320,7 +320,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(ReadinessLevel::Raw.to_string(), "1 - Raw");
-        assert_eq!(ReadinessLevel::FullyAiReady.to_string(), "5 - Fully AI-ready");
+        assert_eq!(
+            ReadinessLevel::FullyAiReady.to_string(),
+            "5 - Fully AI-ready"
+        );
         assert_eq!(ProcessingStage::Shard.to_string(), "Shard");
     }
 }

@@ -72,10 +72,26 @@ impl DomainTemplate {
             domain: "climate",
             pattern: "download -> regrid -> normalize -> shard",
             steps: vec![
-                TemplateStep { name: "download", kind: S::Ingest, optional: false },
-                TemplateStep { name: "regrid", kind: S::Preprocess, optional: false },
-                TemplateStep { name: "normalize", kind: S::Transform, optional: false },
-                TemplateStep { name: "shard", kind: S::Shard, optional: false },
+                TemplateStep {
+                    name: "download",
+                    kind: S::Ingest,
+                    optional: false,
+                },
+                TemplateStep {
+                    name: "regrid",
+                    kind: S::Preprocess,
+                    optional: false,
+                },
+                TemplateStep {
+                    name: "normalize",
+                    kind: S::Transform,
+                    optional: false,
+                },
+                TemplateStep {
+                    name: "shard",
+                    kind: S::Shard,
+                    optional: false,
+                },
             ],
             shard_format: "npz",
             constraints: DomainConstraints {
@@ -92,10 +108,26 @@ impl DomainTemplate {
             domain: "fusion",
             pattern: "extract -> align -> normalize -> shard",
             steps: vec![
-                TemplateStep { name: "extract", kind: S::Ingest, optional: false },
-                TemplateStep { name: "align", kind: S::Preprocess, optional: false },
-                TemplateStep { name: "normalize", kind: S::Transform, optional: false },
-                TemplateStep { name: "shard", kind: S::Shard, optional: false },
+                TemplateStep {
+                    name: "extract",
+                    kind: S::Ingest,
+                    optional: false,
+                },
+                TemplateStep {
+                    name: "align",
+                    kind: S::Preprocess,
+                    optional: false,
+                },
+                TemplateStep {
+                    name: "normalize",
+                    kind: S::Transform,
+                    optional: false,
+                },
+                TemplateStep {
+                    name: "shard",
+                    kind: S::Shard,
+                    optional: false,
+                },
             ],
             shard_format: "tfrecord",
             constraints: DomainConstraints {
@@ -112,10 +144,26 @@ impl DomainTemplate {
             domain: "bio",
             pattern: "encode -> anonymize -> fuse -> secure-shard",
             steps: vec![
-                TemplateStep { name: "ingest", kind: S::Ingest, optional: false },
-                TemplateStep { name: "anonymize", kind: S::Transform, optional: false },
-                TemplateStep { name: "fuse", kind: S::Structure, optional: false },
-                TemplateStep { name: "secure-shard", kind: S::Shard, optional: false },
+                TemplateStep {
+                    name: "ingest",
+                    kind: S::Ingest,
+                    optional: false,
+                },
+                TemplateStep {
+                    name: "anonymize",
+                    kind: S::Transform,
+                    optional: false,
+                },
+                TemplateStep {
+                    name: "fuse",
+                    kind: S::Structure,
+                    optional: false,
+                },
+                TemplateStep {
+                    name: "secure-shard",
+                    kind: S::Shard,
+                    optional: false,
+                },
             ],
             shard_format: "h5lite+chacha20",
             constraints: DomainConstraints {
@@ -133,10 +181,26 @@ impl DomainTemplate {
             domain: "materials",
             pattern: "parse -> normalize -> encode -> shard",
             steps: vec![
-                TemplateStep { name: "parse", kind: S::Ingest, optional: false },
-                TemplateStep { name: "normalize", kind: S::Transform, optional: false },
-                TemplateStep { name: "encode", kind: S::Structure, optional: false },
-                TemplateStep { name: "shard", kind: S::Shard, optional: false },
+                TemplateStep {
+                    name: "parse",
+                    kind: S::Ingest,
+                    optional: false,
+                },
+                TemplateStep {
+                    name: "normalize",
+                    kind: S::Transform,
+                    optional: false,
+                },
+                TemplateStep {
+                    name: "encode",
+                    kind: S::Structure,
+                    optional: false,
+                },
+                TemplateStep {
+                    name: "shard",
+                    kind: S::Shard,
+                    optional: false,
+                },
             ],
             shard_format: "bp+jsonl",
             constraints: DomainConstraints::default(),
@@ -247,6 +311,9 @@ mod tests {
     fn required_kinds_deduplicate() {
         let t = DomainTemplate::climate();
         let kinds = t.required_kinds();
-        assert_eq!(kinds, vec![S::Ingest, S::Preprocess, S::Transform, S::Shard]);
+        assert_eq!(
+            kinds,
+            vec![S::Ingest, S::Preprocess, S::Transform, S::Shard]
+        );
     }
 }

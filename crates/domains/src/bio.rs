@@ -30,8 +30,8 @@ use drai_io::sink::StorageSink;
 use drai_provenance::{Artifact, Ledger};
 use drai_tensor::Tensor;
 use drai_transform::anonymize::{
-    generalize_age, generalize_zip, hash_identifier, k_anonymity, scan_for_identifiers,
-    shift_dates, suppress_to_k, date_shift_days,
+    date_shift_days, generalize_age, generalize_zip, hash_identifier, k_anonymity,
+    scan_for_identifiers, shift_dates, suppress_to_k,
 };
 use drai_transform::encode::Alphabet;
 use drai_transform::impute::{impute, Strategy};
@@ -80,8 +80,12 @@ impl Default for BioConfig {
 /// Generate raw clinical CSV + FASTA into `sink` under `raw/`.
 pub fn generate_raw(cfg: &BioConfig, sink: &dyn StorageSink) -> Result<(), DomainError> {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let first_names = ["Jane", "John", "Ada", "Alan", "Grace", "Linus", "Mary", "Omar"];
-    let last_names = ["Doe", "Smith", "Lovelace", "Turing", "Hopper", "Chen", "Patel", "Kim"];
+    let first_names = [
+        "Jane", "John", "Ada", "Alan", "Grace", "Linus", "Mary", "Omar",
+    ];
+    let last_names = [
+        "Doe", "Smith", "Lovelace", "Turing", "Hopper", "Chen", "Patel", "Kim",
+    ];
     let mut rows = Vec::with_capacity(cfg.patients);
     for p in 0..cfg.patients {
         let name = format!(
@@ -107,7 +111,10 @@ pub fn generate_raw(cfg: &BioConfig, sink: &dyn StorageSink) -> Result<(), Domai
             } else {
                 let base = [95.0, 1.0, 14.0, 140.0][li];
                 let spread = [20.0, 0.3, 2.0, 4.0][li];
-                fields.push(format!("{:.2}", base + spread * (rng.gen::<f64>() - 0.5) * 2.0));
+                fields.push(format!(
+                    "{:.2}",
+                    base + spread * (rng.gen::<f64>() - 0.5) * 2.0
+                ));
             }
         }
         rows.push(fields);
@@ -248,10 +255,14 @@ pub fn build_pipeline(
     let ledger_shard = ledger;
 
     Pipeline::builder("bio")
-        .stage("audit", S::Ingest, move |data: BioData, c: &mut StageCounters| {
-            c.records = data.patients.len() as u64;
-            Ok(data)
-        })
+        .stage(
+            "audit",
+            S::Ingest,
+            move |data: BioData, c: &mut StageCounters| {
+                c.records = data.patients.len() as u64;
+                Ok(data)
+            },
+        )
         .stage("anonymize", S::Transform, move |mut data: BioData, c| {
             let salt = format!("{}::anon", cfg_anon.secret);
             for p in &mut data.patients {
@@ -336,14 +347,18 @@ pub fn build_pipeline(
                 };
                 let f = &mut containers[idx];
                 let base = format!("/patients/{pseudonym}");
-                let labs_t = Tensor::from_vec(labs.clone(), &[labs.len()])
-                    .map_err(|e| format!("{e}"))?;
+                let labs_t =
+                    Tensor::from_vec(labs.clone(), &[labs.len()]).map_err(|e| format!("{e}"))?;
                 f.put_tensor(&format!("{base}/labs"), &labs_t, labs.len().max(1))
                     .map_err(|e| format!("{e}"))?;
                 f.put_tensor(&format!("{base}/onehot"), onehot, 64)
                     .map_err(|e| format!("{e}"))?;
-                f.set_attr(&format!("{base}/labs"), "columns", AttrValue::Text(LAB_COLUMNS.join(",")))
-                    .map_err(|e| format!("{e}"))?;
+                f.set_attr(
+                    &format!("{base}/labs"),
+                    "columns",
+                    AttrValue::Text(LAB_COLUMNS.join(",")),
+                )
+                .map_err(|e| format!("{e}"))?;
                 counts[idx] += 1;
             }
             let mut total = 0u64;
@@ -405,6 +420,7 @@ pub fn open_secure_shard(
 
 /// Run the complete bio archetype.
 pub fn run(cfg: &BioConfig, sink: Arc<dyn StorageSink>) -> Result<DomainRun, DomainError> {
+    let run_span = drai_telemetry::Registry::global().span("domain.bio.run");
     generate_raw(cfg, sink.as_ref())?;
     let ledger = Arc::new(Ledger::new());
     let input = ingest(cfg, sink.as_ref())?;
@@ -458,6 +474,7 @@ pub fn run(cfg: &BioConfig, sink: Arc<dyn StorageSink>) -> Result<DomainRun, Dom
         .filter(|n| n.starts_with("bio/") && n.ends_with(".enc"))
         .collect();
 
+    run_span.add_items(manifest.records);
     Ok(DomainRun {
         manifest,
         stages: run.stages,
@@ -488,9 +505,15 @@ mod tests {
         let sink = MemSink::new();
         generate_raw(&small_cfg(), &sink).unwrap();
         let data = ingest(&small_cfg(), &sink).unwrap();
-        assert!(data.intake_phi_findings > 0, "raw EHR should trip the PHI scanner");
+        assert!(
+            data.intake_phi_findings > 0,
+            "raw EHR should trip the PHI scanner"
+        );
         assert_eq!(data.patients.len(), 24);
-        assert!(data.patients.iter().any(|p| p.labs.iter().any(|v| v.is_nan())));
+        assert!(data
+            .patients
+            .iter()
+            .any(|p| p.labs.iter().any(|v| v.is_nan())));
         assert!(data.patients.iter().all(|p| p.sequence.len() == 64));
     }
 
@@ -508,7 +531,10 @@ mod tests {
         // names.
         for name in &run.shard_files {
             let enc = sink.read_file(name).unwrap();
-            assert!(H5File::from_bytes(&enc).is_err(), "{name} stored unencrypted!");
+            assert!(
+                H5File::from_bytes(&enc).is_err(),
+                "{name} stored unencrypted!"
+            );
             let text = String::from_utf8_lossy(&enc);
             assert!(!text.contains("patient-00"), "{name} leaks patient ids");
         }
@@ -528,9 +554,7 @@ mod tests {
             .output
             .fused
             .iter()
-            .filter(|(p, _, _)| {
-                assign(p, cfg.seed, cfg.fractions).unwrap() == Split::Train
-            })
+            .filter(|(p, _, _)| assign(p, cfg.seed, cfg.fractions).unwrap() == Split::Train)
             .count();
         let f = open_secure_shard(&cfg, sink.as_ref(), Split::Train, train_count).unwrap();
         let patients = f.children("/patients");
@@ -563,7 +587,8 @@ mod tests {
             assert_eq!(p.pseudonym.len(), 32);
             assert!(
                 p.age_band.contains('-') || p.age_band == "90+" || p.age_band == "*",
-                "age band {:?}", p.age_band
+                "age band {:?}",
+                p.age_band
             );
             assert!(p.zip3.ends_with("**") || p.zip3 == "*");
         }

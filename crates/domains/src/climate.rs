@@ -81,10 +81,10 @@ impl Default for ClimateConfig {
 fn synth_variable(cfg: &ClimateConfig, var_index: usize, rng: &mut SmallRng) -> Vec<f64> {
     let (nlat, nlon) = (cfg.src_grid.nlat(), cfg.src_grid.nlon());
     let base = match var_index {
-        0 => 288.0,    // tas ~ K
+        0 => 288.0,     // tas ~ K
         1 => 101_325.0, // psl ~ Pa
-        2 => 0.0,      // uas ~ m/s
-        _ => 3.0e-5,   // pr ~ kg m-2 s-1 scale
+        2 => 0.0,       // uas ~ m/s
+        _ => 3.0e-5,    // pr ~ kg m-2 s-1 scale
     };
     let amp = match var_index {
         0 => 40.0,
@@ -132,7 +132,10 @@ fn synth_variable(cfg: &ClimateConfig, var_index: usize, rng: &mut SmallRng) -> 
 
 /// Generate the raw NetCDF files (one per variable) into `sink` under
 /// `raw/`. Returns the blob names. This is the "download" stand-in.
-pub fn generate_raw(cfg: &ClimateConfig, sink: &dyn StorageSink) -> Result<Vec<String>, DomainError> {
+pub fn generate_raw(
+    cfg: &ClimateConfig,
+    sink: &dyn StorageSink,
+) -> Result<Vec<String>, DomainError> {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let (nlat, nlon) = (cfg.src_grid.nlat(), cfg.src_grid.nlon());
     let mut names = Vec::new();
@@ -165,17 +168,13 @@ pub fn generate_raw(cfg: &ClimateConfig, sink: &dyn StorageSink) -> Result<Vec<S
                     name: "lat".into(),
                     dims: vec![1],
                     attrs: vec![],
-                    data: NcValues::Double(
-                        (0..nlat).map(|i| cfg.src_grid.lat_center(i)).collect(),
-                    ),
+                    data: NcValues::Double((0..nlat).map(|i| cfg.src_grid.lat_center(i)).collect()),
                 },
                 NcVar {
                     name: "lon".into(),
                     dims: vec![2],
                     attrs: vec![],
-                    data: NcValues::Double(
-                        (0..nlon).map(|j| cfg.src_grid.lon_center(j)).collect(),
-                    ),
+                    data: NcValues::Double((0..nlon).map(|j| cfg.src_grid.lon_center(j)).collect()),
                 },
                 NcVar {
                     name: (*name).into(),
@@ -281,21 +280,25 @@ pub fn build_pipeline(
     let sink_shard = sink;
 
     Pipeline::builder("climate")
-        .stage("validate", S::Ingest, move |data: ClimateData, c: &mut StageCounters| {
-            // Schema/shape validation: every variable complete on the grid.
-            let expect = data.timesteps * data.grid.ncells();
-            for (vi, f) in data.fields.iter().enumerate() {
-                if f.len() != expect {
-                    return Err(format!(
-                        "variable {vi}: {} values, expected {expect}",
-                        f.len()
-                    ));
+        .stage(
+            "validate",
+            S::Ingest,
+            move |data: ClimateData, c: &mut StageCounters| {
+                // Schema/shape validation: every variable complete on the grid.
+                let expect = data.timesteps * data.grid.ncells();
+                for (vi, f) in data.fields.iter().enumerate() {
+                    if f.len() != expect {
+                        return Err(format!(
+                            "variable {vi}: {} values, expected {expect}",
+                            f.len()
+                        ));
+                    }
                 }
-            }
-            c.records = data.timesteps as u64;
-            c.bytes = (data.fields.len() * expect * 8) as u64;
-            Ok(data)
-        })
+                c.records = data.timesteps as u64;
+                c.bytes = (data.fields.len() * expect * 8) as u64;
+                Ok(data)
+            },
+        )
         .stage("regrid", S::Preprocess, move |mut data: ClimateData, c| {
             let src = data.grid.clone();
             let dst = cfg_regrid.dst_grid.clone();
@@ -335,46 +338,50 @@ pub fn build_pipeline(
             c.bytes = (data.fields.len() * data.timesteps * data.grid.ncells() * 8) as u64;
             Ok(data)
         })
-        .stage("normalize", S::Transform, move |mut data: ClimateData, c| {
-            // Parallel Welford reduction per variable across timesteps.
-            let normalizers: Result<Vec<Normalizer>, String> = data
-                .fields
-                .par_iter()
-                .map(|stack| {
-                    let w = stack
-                        .par_chunks(64 * 1024)
-                        .map(|chunk| {
-                            let mut w = Welford::new();
-                            w.extend(chunk);
-                            w
-                        })
-                        .reduce(Welford::new, |a, b| a.merge(&b));
-                    Normalizer::from_welford(Method::ZScore, &w).map_err(|e| format!("{e}"))
-                })
-                .collect();
-            let normalizers = normalizers?;
-            data.fields
-                .par_iter_mut()
-                .zip(normalizers.par_iter())
-                .for_each(|(stack, n)| n.apply_slice(stack));
-            for (vi, n) in normalizers.iter().enumerate() {
-                ledger_norm.record(
-                    "normalize",
-                    [
-                        ("variable".to_string(), VARIABLES[vi].0.to_string()),
-                        ("method".to_string(), "zscore".to_string()),
-                        ("mean".to_string(), format!("{:.6}", n.offset)),
-                        ("std".to_string(), format!("{:.6}", n.scale)),
-                    ],
-                    vec![],
-                    vec![],
-                );
-            }
-            data.normalizers = normalizers;
-            c.records = data.timesteps as u64;
-            c.bytes = (data.fields.len() * data.timesteps * data.grid.ncells() * 8) as u64;
-            Ok(data)
-        })
+        .stage(
+            "normalize",
+            S::Transform,
+            move |mut data: ClimateData, c| {
+                // Parallel Welford reduction per variable across timesteps.
+                let normalizers: Result<Vec<Normalizer>, String> = data
+                    .fields
+                    .par_iter()
+                    .map(|stack| {
+                        let w = stack
+                            .par_chunks(64 * 1024)
+                            .map(|chunk| {
+                                let mut w = Welford::new();
+                                w.extend(chunk);
+                                w
+                            })
+                            .reduce(Welford::new, |a, b| a.merge(&b));
+                        Normalizer::from_welford(Method::ZScore, &w).map_err(|e| format!("{e}"))
+                    })
+                    .collect();
+                let normalizers = normalizers?;
+                data.fields
+                    .par_iter_mut()
+                    .zip(normalizers.par_iter())
+                    .for_each(|(stack, n)| n.apply_slice(stack));
+                for (vi, n) in normalizers.iter().enumerate() {
+                    ledger_norm.record(
+                        "normalize",
+                        [
+                            ("variable".to_string(), VARIABLES[vi].0.to_string()),
+                            ("method".to_string(), "zscore".to_string()),
+                            ("mean".to_string(), format!("{:.6}", n.offset)),
+                            ("std".to_string(), format!("{:.6}", n.scale)),
+                        ],
+                        vec![],
+                        vec![],
+                    );
+                }
+                data.normalizers = normalizers;
+                c.records = data.timesteps as u64;
+                c.bytes = (data.fields.len() * data.timesteps * data.grid.ncells() * 8) as u64;
+                Ok(data)
+            },
+        )
         .stage("shard", S::Shard, move |data: ClimateData, c| {
             // One NPZ record per timestep: members {var}.npy of [lat,lon]
             // f32 — the ClimaX layout. Split by timestep key, shard each
@@ -423,7 +430,8 @@ pub fn build_pipeline(
                 if split_records[idx].is_empty() {
                     continue;
                 }
-                let spec = ShardSpec::new(format!("climate/{}", split.name()), cfg_shard.shard_bytes);
+                let spec =
+                    ShardSpec::new(format!("climate/{}", split.name()), cfg_shard.shard_bytes);
                 let manifest = ShardWriter::new(spec, sink_shard.as_ref())
                     .write_all(&split_records[idx])
                     .map_err(|e| format!("{e}"))?;
@@ -453,6 +461,7 @@ pub fn build_pipeline(
 /// Run the complete climate archetype: generate raw NetCDF, execute the
 /// pipeline, and return the graded manifest.
 pub fn run(cfg: &ClimateConfig, sink: Arc<dyn StorageSink>) -> Result<DomainRun, DomainError> {
+    let run_span = drai_telemetry::Registry::global().span("domain.climate.run");
     // "Download" (synthesize) + parse — the ingest half happens outside
     // the timed pipeline stages only as far as synthesis; parsing is the
     // ingest stage's work, done here so stage 1 receives parsed fields.
@@ -522,6 +531,7 @@ pub fn run(cfg: &ClimateConfig, sink: Arc<dyn StorageSink>) -> Result<DomainRun,
         .filter(|n| n.starts_with("climate/") && n.ends_with(".shard"))
         .collect();
 
+    run_span.add_items(manifest.records);
     Ok(DomainRun {
         manifest,
         stages: run.stages,
@@ -570,7 +580,10 @@ mod tests {
 
         // Stage sequence covers the canonical pattern.
         let kinds: Vec<S> = run.stages.iter().map(|s| s.kind).collect();
-        assert_eq!(kinds, vec![S::Ingest, S::Preprocess, S::Transform, S::Shard]);
+        assert_eq!(
+            kinds,
+            vec![S::Ingest, S::Preprocess, S::Transform, S::Shard]
+        );
 
         // The assessor grades the output fully AI-ready.
         let assessment = ReadinessAssessor::new().assess(&run.manifest).unwrap();
@@ -603,7 +616,9 @@ mod tests {
         let pipeline = build_pipeline(&cfg, sink.clone(), ledger);
         // Feed synthetic fields directly.
         let mut rng = SmallRng::seed_from_u64(1);
-        let fields: Vec<Vec<f64>> = (0..4).map(|vi| synth_variable(&cfg, vi, &mut rng)).collect();
+        let fields: Vec<Vec<f64>> = (0..4)
+            .map(|vi| synth_variable(&cfg, vi, &mut rng))
+            .collect();
         let out = pipeline
             .run(ClimateData {
                 fields,
@@ -646,7 +661,8 @@ mod tests {
         generate_raw_grib(&cfg, &sink, packing).unwrap();
         let grib_fields = ingest_grib(&cfg, &sink).unwrap();
         for (vi, (name, _, _)) in VARIABLES.iter().enumerate() {
-            let nc = NcFile::from_bytes(&sink.read_file(&format!("raw/{name}.nc")).unwrap()).unwrap();
+            let nc =
+                NcFile::from_bytes(&sink.read_file(&format!("raw/{name}.nc")).unwrap()).unwrap();
             let exact = nc.var(name).unwrap().data.to_f64_vec();
             let packed = &grib_fields[vi];
             assert_eq!(exact.len(), packed.len());

@@ -36,10 +36,10 @@ use std::sync::Arc;
 /// Diagnostic channels in the synthetic shot store.
 pub const CHANNELS: [(&str, f64, &str); 4] = [
     // (name, sample rate Hz, unit)
-    ("ip", 10_000.0, "MA"),      // plasma current
-    ("vloop", 5_000.0, "1"),     // loop voltage (arb)
-    ("ne", 1_000.0, "1"),        // line-averaged density (arb)
-    ("te_core", 250.0, "keV"),   // core temperature
+    ("ip", 10_000.0, "MA"),    // plasma current
+    ("vloop", 5_000.0, "1"),   // loop voltage (arb)
+    ("ne", 1_000.0, "1"),      // line-averaged density (arb)
+    ("te_core", 250.0, "keV"), // core temperature
 ];
 
 /// Generator + pipeline configuration.
@@ -105,7 +105,8 @@ impl ShotStore {
     pub fn generate(cfg: &FusionConfig) -> ShotStore {
         let shots = (0..cfg.shots)
             .map(|s| {
-                let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (s as u64).wrapping_mul(0x9E37_79B9));
+                let mut rng =
+                    SmallRng::seed_from_u64(cfg.seed ^ (s as u64).wrapping_mul(0x9E37_79B9));
                 let id = 170_000 + s as u64;
                 let disrupts = rng.gen::<f64>() < cfg.disruption_fraction;
                 // Disruptions occur after ramp-up (≥ 0.3 s when the shot is
@@ -221,21 +222,25 @@ pub fn build_pipeline(
     let ledger_norm = ledger;
 
     Pipeline::builder("fusion")
-        .stage("extract", S::Ingest, move |mut data: FusionData, c: &mut StageCounters| {
-            // Drop shots with fewer than 2 live channels (cannot align a
-            // useful feature matrix from one signal).
-            let before = data.shots.len();
-            data.shots.retain(|s| s.channels.len() >= 2);
-            let samples: usize = data
-                .shots
-                .iter()
-                .flat_map(|s| s.channels.iter().map(|ch| ch.values.len()))
-                .sum();
-            c.records = data.shots.len() as u64;
-            c.bytes = (samples * 16) as u64;
-            let _ = before;
-            Ok(data)
-        })
+        .stage(
+            "extract",
+            S::Ingest,
+            move |mut data: FusionData, c: &mut StageCounters| {
+                // Drop shots with fewer than 2 live channels (cannot align a
+                // useful feature matrix from one signal).
+                let before = data.shots.len();
+                data.shots.retain(|s| s.channels.len() >= 2);
+                let samples: usize = data
+                    .shots
+                    .iter()
+                    .flat_map(|s| s.channels.iter().map(|ch| ch.values.len()))
+                    .sum();
+                c.records = data.shots.len() as u64;
+                c.bytes = (samples * 16) as u64;
+                let _ = before;
+                Ok(data)
+            },
+        )
         .stage("align", S::Preprocess, move |mut data: FusionData, c| {
             let aligned: Result<Vec<_>, String> = data
                 .shots
@@ -352,10 +357,7 @@ pub fn build_pipeline(
                 vec![],
             );
             c.records = windows.len() as u64;
-            c.bytes = windows
-                .iter()
-                .map(|w| (w.features.len() * 4) as u64)
-                .sum();
+            c.bytes = windows.iter().map(|w| (w.features.len() * 4) as u64).sum();
             data.windows = windows;
             Ok(data)
         })
@@ -437,8 +439,13 @@ pub fn pseudo_label_windows(
     windows: &[WindowSample],
     known_fraction: f64,
     confidence_gate: f64,
-) -> Result<(Vec<drai_transform::label::Label>, drai_transform::label::PseudoLabelReport), DomainError>
-{
+) -> Result<
+    (
+        Vec<drai_transform::label::Label>,
+        drai_transform::label::PseudoLabelReport,
+    ),
+    DomainError,
+> {
     use drai_transform::label::{pseudo_label, Label};
     if windows.is_empty() {
         return Err(DomainError::Config("no windows to label".into()));
@@ -450,8 +457,7 @@ pub fn pseudo_label_windows(
         .map(|w| {
             let half = w.features.len() / 2;
             let d = &w.features[half..];
-            (d.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() / d.len().max(1) as f64)
-                .sqrt()
+            (d.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() / d.len().max(1) as f64).sqrt()
         })
         .collect();
 
@@ -505,7 +511,11 @@ pub fn pseudo_label_windows(
         let (d0, d1) = ((summaries[i] - c0).abs(), (summaries[i] - c1).abs());
         let (class, near, far) = if d0 <= d1 { (0, d0, d1) } else { (1, d1, d0) };
         // Confidence from margin: 0.5 (ambiguous) → 1.0 (clear).
-        let conf = if far > 0.0 { 0.5 + 0.5 * (1.0 - near / far) } else { 0.5 };
+        let conf = if far > 0.0 {
+            0.5 + 0.5 * (1.0 - near / far)
+        } else {
+            0.5
+        };
         Some((class, conf))
     })
     .map_err(DomainError::Transform)?;
@@ -515,6 +525,7 @@ pub fn pseudo_label_windows(
 
 /// Run the complete fusion archetype.
 pub fn run(cfg: &FusionConfig, sink: Arc<dyn StorageSink>) -> Result<DomainRun, DomainError> {
+    let run_span = drai_telemetry::Registry::global().span("domain.fusion.run");
     let store = ShotStore::generate(cfg);
     let ledger = Arc::new(Ledger::new());
     let pipeline = build_pipeline(cfg, sink.clone(), ledger.clone());
@@ -527,7 +538,8 @@ pub fn run(cfg: &FusionConfig, sink: Arc<dyn StorageSink>) -> Result<DomainRun, 
     let run = pipeline.run(input)?;
 
     let labeled = run.output.windows.len() as u64;
-    let mut manifest = DatasetManifest::raw("diii-d-synth", "fusion", Modality::TimeSeries, labeled);
+    let mut manifest =
+        DatasetManifest::raw("diii-d-synth", "fusion", Modality::TimeSeries, labeled);
     manifest.schema = CHANNELS
         .iter()
         .map(|(name, _, unit)| VariableSpec {
@@ -560,6 +572,7 @@ pub fn run(cfg: &FusionConfig, sink: Arc<dyn StorageSink>) -> Result<DomainRun, 
         .filter(|n| n.starts_with("fusion/") && n.ends_with(".shard"))
         .collect();
 
+    run_span.add_items(manifest.records);
     Ok(DomainRun {
         manifest,
         stages: run.stages,
@@ -598,7 +611,11 @@ mod tests {
         };
         let store = ShotStore::generate(&cfg);
         assert_eq!(store.shots().len(), 60);
-        let disrupted = store.shots().iter().filter(|s| s.t_disrupt.is_some()).count();
+        let disrupted = store
+            .shots()
+            .iter()
+            .filter(|s| s.t_disrupt.is_some())
+            .count();
         assert!(disrupted > 10 && disrupted < 40, "disrupted {disrupted}");
         let dead_channels: usize = store
             .shots()
@@ -607,7 +624,11 @@ mod tests {
             .sum();
         assert!(dead_channels > 0, "dropout never fired");
         // Multirate: channels differ in length.
-        let shot = store.shots().iter().find(|s| s.channels.len() >= 3).unwrap();
+        let shot = store
+            .shots()
+            .iter()
+            .find(|s| s.channels.len() >= 3)
+            .unwrap();
         let lens: Vec<usize> = shot.channels.iter().map(|c| c.values.len()).collect();
         assert!(lens.windows(2).any(|w| w[0] != w[1]), "{lens:?}");
         assert!(store.get(170_000).is_some());
@@ -655,7 +676,8 @@ mod tests {
         for (idx, split) in ["train", "val", "test"].iter().enumerate() {
             let prefix = format!("fusion/{split}");
             if let Ok(reader) = ShardReader::open(&prefix, sink.as_ref()) {
-                for records in (0..reader.manifest().shards.len()).map(|i| reader.read_shard(i).unwrap())
+                for records in
+                    (0..reader.manifest().shards.len()).map(|i| reader.read_shard(i).unwrap())
                 {
                     for rec in records {
                         for frame in tfrecord::read_records(&rec).unwrap() {

@@ -229,7 +229,11 @@ pub fn neighbor_pairs(positions: &[[f64; 3]], cutoff: f64) -> Vec<(usize, usize,
             for dy in -1isize..=1 {
                 for dx in -1isize..=1 {
                     let ncoord = [coord[0] + dx, coord[1] + dy, coord[2] + dz];
-                    if ncoord.iter().zip(&dims).any(|(&x, &d)| x < 0 || x >= d as isize) {
+                    if ncoord
+                        .iter()
+                        .zip(&dims)
+                        .any(|(&x, &d)| x < 0 || x >= d as isize)
+                    {
                         continue;
                     }
                     let nidx = (ncoord[0] as usize * dims[1] + ncoord[1] as usize) * dims[2]
@@ -273,50 +277,58 @@ pub fn build_pipeline(
     let ledger_norm = ledger;
 
     Pipeline::builder("materials")
-        .stage("parse", S::Ingest, move |data: MaterialsData, c: &mut StageCounters| {
-            for (i, f) in data.frames.iter().enumerate() {
-                if f.atoms.is_empty() {
-                    return Err(format!("frame {i}: no atoms"));
+        .stage(
+            "parse",
+            S::Ingest,
+            move |data: MaterialsData, c: &mut StageCounters| {
+                for (i, f) in data.frames.iter().enumerate() {
+                    if f.atoms.is_empty() {
+                        return Err(format!("frame {i}: no atoms"));
+                    }
+                    if f.energy().is_none() {
+                        return Err(format!("frame {i}: missing energy"));
+                    }
                 }
-                if f.energy().is_none() {
-                    return Err(format!("frame {i}: missing energy"));
-                }
-            }
-            c.records = data.frames.len() as u64;
-            c.bytes = data
-                .frames
-                .iter()
-                .map(|f| (f.atoms.len() * 48) as u64)
-                .sum();
-            Ok(data)
-        })
-        .stage("normalize", S::Transform, move |mut data: MaterialsData, c| {
-            // Per-atom energy statistics (parallel Welford merge).
-            let w = data
-                .frames
-                .par_iter()
-                .map(|f| {
-                    let mut w = Welford::new();
-                    w.push(f.energy().expect("validated") / f.atoms.len() as f64);
-                    w
-                })
-                .reduce(Welford::new, |a, b| a.merge(&b));
-            let std = if w.std() < f64::EPSILON { 1.0 } else { w.std() };
-            data.energy_stats = (w.mean(), std);
-            ledger_norm.record(
-                "normalize",
-                [
-                    ("target".to_string(), "energy_per_atom".to_string()),
-                    ("mean".to_string(), format!("{:.6}", w.mean())),
-                    ("std".to_string(), format!("{std:.6}")),
-                ],
-                vec![],
-                vec![],
-            );
-            let _ = &cfg_norm;
-            c.records = data.frames.len() as u64;
-            Ok(data)
-        })
+                c.records = data.frames.len() as u64;
+                c.bytes = data
+                    .frames
+                    .iter()
+                    .map(|f| (f.atoms.len() * 48) as u64)
+                    .sum();
+                Ok(data)
+            },
+        )
+        .stage(
+            "normalize",
+            S::Transform,
+            move |mut data: MaterialsData, c| {
+                // Per-atom energy statistics (parallel Welford merge).
+                let w = data
+                    .frames
+                    .par_iter()
+                    .map(|f| {
+                        let mut w = Welford::new();
+                        w.push(f.energy().expect("validated") / f.atoms.len() as f64);
+                        w
+                    })
+                    .reduce(Welford::new, |a, b| a.merge(&b));
+                let std = if w.std() < f64::EPSILON { 1.0 } else { w.std() };
+                data.energy_stats = (w.mean(), std);
+                ledger_norm.record(
+                    "normalize",
+                    [
+                        ("target".to_string(), "energy_per_atom".to_string()),
+                        ("mean".to_string(), format!("{:.6}", w.mean())),
+                        ("std".to_string(), format!("{std:.6}")),
+                    ],
+                    vec![],
+                    vec![],
+                );
+                let _ = &cfg_norm;
+                c.records = data.frames.len() as u64;
+                Ok(data)
+            },
+        )
         .stage("encode", S::Structure, move |mut data: MaterialsData, c| {
             let species_index = |el: &str| SPECIES.iter().position(|(s, _)| *s == el);
             let (e_mean, e_std) = data.energy_stats;
@@ -326,8 +338,7 @@ pub fn build_pipeline(
                 .enumerate()
                 .map(|(si, frame)| {
                     let n = frame.atoms.len();
-                    let positions: Vec<[f64; 3]> =
-                        frame.atoms.iter().map(|a| a.position).collect();
+                    let positions: Vec<[f64; 3]> = frame.atoms.iter().map(|a| a.position).collect();
                     let pairs = neighbor_pairs(&positions, cfg_encode.cutoff);
                     // Node features: species one-hot.
                     let mut nf = vec![0.0f32; n * SPECIES.len()];
@@ -358,8 +369,7 @@ pub fn build_pipeline(
                         structure_id: si,
                         node_features: Tensor::from_vec(nf, &[n, SPECIES.len()])
                             .map_err(|e| format!("{e}"))?,
-                        edges: Tensor::from_vec(edges, &[nedges, 2])
-                            .map_err(|e| format!("{e}"))?,
+                        edges: Tensor::from_vec(edges, &[nedges, 2]).map_err(|e| format!("{e}"))?,
                         edge_lengths: Tensor::from_vec(lens, &[nedges])
                             .map_err(|e| format!("{e}"))?,
                         energy_per_atom: (frame.energy().expect("validated") / n as f64 - e_mean)
@@ -373,8 +383,10 @@ pub fn build_pipeline(
             c.bytes = data
                 .graphs
                 .iter()
-                .map(|g| ((g.node_features.len() + g.edge_lengths.len() + g.forces.len()) * 4
-                    + g.edges.len() * 8) as u64)
+                .map(|g| {
+                    ((g.node_features.len() + g.edge_lengths.len() + g.forces.len()) * 4
+                        + g.edges.len() * 8) as u64
+                })
                 .sum();
             Ok(data)
         })
@@ -459,6 +471,7 @@ pub fn build_pipeline(
 
 /// Run the complete materials archetype.
 pub fn run(cfg: &MaterialsConfig, sink: Arc<dyn StorageSink>) -> Result<DomainRun, DomainError> {
+    let run_span = drai_telemetry::Registry::global().span("domain.materials.run");
     generate_raw(cfg, sink.as_ref())?;
     let raw = sink.read_file("raw/structures.xyz")?;
     let ledger = Arc::new(Ledger::new());
@@ -519,6 +532,7 @@ pub fn run(cfg: &MaterialsConfig, sink: Arc<dyn StorageSink>) -> Result<DomainRu
         .filter(|n| n.starts_with("materials/") && n.ends_with(".bp"))
         .collect();
 
+    run_span.add_items(manifest.records);
     Ok(DomainRun {
         manifest,
         stages: run.stages,
@@ -547,7 +561,13 @@ mod tests {
     fn neighbor_pairs_matches_brute_force() {
         let mut rng = SmallRng::seed_from_u64(11);
         let positions: Vec<[f64; 3]> = (0..80)
-            .map(|_| [rng.gen::<f64>() * 10.0, rng.gen::<f64>() * 10.0, rng.gen::<f64>() * 10.0])
+            .map(|_| {
+                [
+                    rng.gen::<f64>() * 10.0,
+                    rng.gen::<f64>() * 10.0,
+                    rng.gen::<f64>() * 10.0,
+                ]
+            })
             .collect();
         let cutoff = 2.5;
         let mut fast: Vec<(usize, usize)> = neighbor_pairs(&positions, cutoff)
@@ -583,9 +603,10 @@ mod tests {
     fn raw_xyz_is_parseable_with_physics() {
         let sink = MemSink::new();
         generate_raw(&small_cfg(), &sink).unwrap();
-        let frames =
-            parse_xyz(&String::from_utf8_lossy(&sink.read_file("raw/structures.xyz").unwrap()))
-                .unwrap();
+        let frames = parse_xyz(&String::from_utf8_lossy(
+            &sink.read_file("raw/structures.xyz").unwrap(),
+        ))
+        .unwrap();
         assert_eq!(frames.len(), 16);
         for f in &frames {
             assert_eq!(f.atoms.len(), 8);
@@ -594,8 +615,8 @@ mod tests {
             // Newton's third law: forces sum to ~zero.
             let mut sum = [0.0; 3];
             for a in &f.atoms {
-                for c in 0..3 {
-                    sum[c] += a.force.unwrap()[c];
+                for (s, f) in sum.iter_mut().zip(a.force.unwrap()) {
+                    *s += f;
                 }
             }
             // Forces pass through %.8f text formatting, so allow
@@ -633,7 +654,10 @@ mod tests {
         let edges: Tensor<i64> = g.var("edges").unwrap().to_tensor().unwrap();
         let lens: Tensor<f32> = g.var("edge_lengths").unwrap().to_tensor().unwrap();
         assert_eq!(edges.shape()[0], lens.len());
-        assert!(lens.as_slice().iter().all(|&r| r > 0.0 && r <= cfg.cutoff as f32 + 1e-6));
+        assert!(lens
+            .as_slice()
+            .iter()
+            .all(|&r| r > 0.0 && r <= cfg.cutoff as f32 + 1e-6));
         // Sidecar JSONL parses.
         let sidecar = sink.read_file("materials/train.jsonl").unwrap();
         for line in String::from_utf8_lossy(&sidecar).lines() {
@@ -683,9 +707,10 @@ mod tests {
         };
         let sink = MemSink::new();
         generate_raw(&cfg, &sink).unwrap();
-        let frames =
-            parse_xyz(&String::from_utf8_lossy(&sink.read_file("raw/structures.xyz").unwrap()))
-                .unwrap();
+        let frames = parse_xyz(&String::from_utf8_lossy(
+            &sink.read_file("raw/structures.xyz").unwrap(),
+        ))
+        .unwrap();
         let mut counts = std::collections::BTreeMap::new();
         for f in &frames {
             for (el, n) in f.composition() {

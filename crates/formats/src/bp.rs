@@ -56,7 +56,12 @@ impl BpVar {
         if T::DTYPE != self.dtype {
             return Err(malformed(
                 "bp",
-                format!("{}: stored {}, requested {}", self.name, self.dtype, T::DTYPE),
+                format!(
+                    "{}: stored {}, requested {}",
+                    self.name,
+                    self.dtype,
+                    T::DTYPE
+                ),
             ));
         }
         Tensor::from_le_bytes(&self.data, &self.shape)
@@ -288,8 +293,7 @@ impl<'a> BpReader<'a> {
         let mut vars = Vec::with_capacity(nvars);
         for _ in 0..nvars {
             let vname = c.str()?;
-            let dtype = DType::from_code(c.u8()?)
-                .ok_or_else(|| malformed("bp", "bad dtype"))?;
+            let dtype = DType::from_code(c.u8()?).ok_or_else(|| malformed("bp", "bad dtype"))?;
             let ndims = c.u32()? as usize;
             let mut shape = Vec::with_capacity(ndims);
             for _ in 0..ndims {
@@ -313,7 +317,9 @@ impl<'a> BpReader<'a> {
 
     /// Read every group.
     pub fn read_all(&self) -> Result<Vec<ProcessGroup>, FormatError> {
-        (0..self.group_count()).map(|i| self.read_group(i)).collect()
+        (0..self.group_count())
+            .map(|i| self.read_group(i))
+            .collect()
     }
 }
 
@@ -357,11 +363,8 @@ mod tests {
 
     fn graph_group(step: u64, natoms: usize) -> ProcessGroup {
         let pos = Tensor::from_fn(&[natoms, 3], |i| i as f64 * 0.1);
-        let species = Tensor::from_vec(
-            (0..natoms).map(|i| (i % 4) as i64).collect(),
-            &[natoms],
-        )
-        .unwrap();
+        let species =
+            Tensor::from_vec((0..natoms).map(|i| (i % 4) as i64).collect(), &[natoms]).unwrap();
         let edges = Tensor::from_vec(
             (0..natoms * 2).map(|i| (i % natoms) as i64).collect(),
             &[natoms, 2],
@@ -402,7 +405,10 @@ mod tests {
         assert_eq!(meta[0].name, "sample-7");
         assert_eq!(meta[0].step, 7);
         assert_eq!(meta[0].vars.len(), 3);
-        assert_eq!(meta[0].vars[0], ("positions".to_string(), DType::F64, vec![10, 3]));
+        assert_eq!(
+            meta[0].vars[0],
+            ("positions".to_string(), DType::F64, vec![10, 3])
+        );
     }
 
     #[test]

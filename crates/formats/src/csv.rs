@@ -170,7 +170,12 @@ mod tests {
         CsvTable {
             header: vec!["mrn".into(), "name".into(), "age".into(), "note".into()],
             rows: vec![
-                vec!["1001".into(), "Doe, Jane".into(), "42".into(), "stable".into()],
+                vec![
+                    "1001".into(),
+                    "Doe, Jane".into(),
+                    "42".into(),
+                    "stable".into(),
+                ],
                 vec![
                     "1002".into(),
                     "O\"Brien".into(),

@@ -201,7 +201,9 @@ fn decode_feature(data: &[u8]) -> Result<Feature, FormatError> {
                     }
                     match v {
                         FieldValue::Bytes(b) => items.extend(decode_packed_floats(b)?),
-                        FieldValue::Fixed32(raw) => items.push(f32::from_le_bytes(raw.to_le_bytes())),
+                        FieldValue::Fixed32(raw) => {
+                            items.push(f32::from_le_bytes(raw.to_le_bytes()))
+                        }
                         _ => return Err(malformed("tf.Example", "bad float list")),
                     }
                 }

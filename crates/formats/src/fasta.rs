@@ -118,10 +118,7 @@ impl FastqRecord {
 
 /// Parse FASTQ text (strict 4-line records).
 pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, FormatError> {
-    let lines: Vec<&str> = text
-        .lines()
-        .map(|l| l.trim_end_matches('\r'))
-        .collect();
+    let lines: Vec<&str> = text.lines().map(|l| l.trim_end_matches('\r')).collect();
     // Allow trailing empty lines.
     let mut end = lines.len();
     while end > 0 && lines[end - 1].is_empty() {

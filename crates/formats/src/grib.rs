@@ -71,7 +71,12 @@ pub fn encode_message(msg: &GribMessage, packing: Packing) -> Result<Vec<u8>, Fo
     if msg.values.len() != expect {
         return Err(malformed(
             "grib",
-            format!("{} values for {}x{} grid", msg.values.len(), msg.nlat, msg.nlon),
+            format!(
+                "{} values for {}x{} grid",
+                msg.values.len(),
+                msg.nlat,
+                msg.nlon
+            ),
         ));
     }
 
@@ -188,8 +193,7 @@ pub fn decode_message(bytes: &[u8]) -> Result<(GribMessage, usize), FormatError>
             }
             6 => {
                 let n = (nlat as usize) * (nlon as usize);
-                let bits = bitunpack(body, 1, n)
-                    .map_err(|_| malformed("grib", "short bitmap"))?;
+                let bits = bitunpack(body, 1, n).map_err(|_| malformed("grib", "short bitmap"))?;
                 bitmap = Some(bits.into_iter().map(|b| b != 0).collect());
             }
             7 => {
@@ -202,8 +206,7 @@ pub fn decode_message(bytes: &[u8]) -> Result<(GribMessage, usize), FormatError>
                 if !(1..=32).contains(&bits) {
                     return Err(malformed("grib", "bad packing width"));
                 }
-                let count =
-                    u32::from_be_bytes(body[17..21].try_into().expect("4")) as usize;
+                let count = u32::from_be_bytes(body[17..21].try_into().expect("4")) as usize;
                 data = Some((reference, scale, bits, count, body[21..].to_vec()));
             }
             _ => {} // unknown sections skipped, per GRIB practice
@@ -214,9 +217,12 @@ pub fn decode_message(bytes: &[u8]) -> Result<(GribMessage, usize), FormatError>
     let n = (nlat as usize) * (nlon as usize);
     let (reference, scale, bits, count, payload) =
         data.ok_or_else(|| malformed("grib", "no data section"))?;
-    let packed = bitunpack(&payload, bits, count)
-        .map_err(|_| malformed("grib", "short data payload"))?;
-    let unpacked: Vec<f64> = packed.iter().map(|&q| reference + q as f64 * scale).collect();
+    let packed =
+        bitunpack(&payload, bits, count).map_err(|_| malformed("grib", "short data payload"))?;
+    let unpacked: Vec<f64> = packed
+        .iter()
+        .map(|&q| reference + q as f64 * scale)
+        .collect();
 
     let values = match bitmap {
         None => {
@@ -234,7 +240,13 @@ pub fn decode_message(bytes: &[u8]) -> Result<(GribMessage, usize), FormatError>
             }
             let mut it = unpacked.into_iter();
             mask.iter()
-                .map(|&p| if p { it.next().expect("count checked") } else { f64::NAN })
+                .map(|&p| {
+                    if p {
+                        it.next().expect("count checked")
+                    } else {
+                        f64::NAN
+                    }
+                })
                 .collect()
         }
     };

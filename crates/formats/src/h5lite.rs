@@ -72,7 +72,11 @@ impl Dataset {
         if T::DTYPE != self.dtype {
             return Err(malformed(
                 "h5lite",
-                format!("dtype mismatch: stored {}, requested {}", self.dtype, T::DTYPE),
+                format!(
+                    "dtype mismatch: stored {}, requested {}",
+                    self.dtype,
+                    T::DTYPE
+                ),
             ));
         }
         Tensor::from_le_bytes(&self.data, &self.shape)
@@ -136,8 +140,15 @@ fn normalize_path(path: &str) -> Result<String, FormatError> {
             format!("path {path:?} must be absolute, non-root, no trailing slash"),
         ));
     }
-    if path.split('/').skip(1).any(|seg| seg.is_empty() || seg == "." || seg == "..") {
-        return Err(malformed("h5lite", format!("path {path:?} has bad segment")));
+    if path
+        .split('/')
+        .skip(1)
+        .any(|seg| seg.is_empty() || seg == "." || seg == "..")
+    {
+        return Err(malformed(
+            "h5lite",
+            format!("path {path:?} has bad segment"),
+        ));
     }
     Ok(path.to_string())
 }
@@ -223,7 +234,12 @@ impl H5File {
     }
 
     /// Attach an attribute to an existing node.
-    pub fn set_attr(&mut self, path: &str, name: &str, value: AttrValue) -> Result<(), FormatError> {
+    pub fn set_attr(
+        &mut self,
+        path: &str,
+        name: &str,
+        value: AttrValue,
+    ) -> Result<(), FormatError> {
         if !self.nodes.contains_key(path) {
             return Err(malformed("h5lite", format!("no node at {path}")));
         }
@@ -259,9 +275,7 @@ impl H5File {
         };
         self.nodes
             .keys()
-            .filter(|p| {
-                p.starts_with(&prefix) && !p[prefix.len()..].contains('/')
-            })
+            .filter(|p| p.starts_with(&prefix) && !p[prefix.len()..].contains('/'))
             .map(String::as_str)
             .collect()
     }
@@ -346,15 +360,12 @@ impl H5File {
         if bytes.len() < 20 || &bytes[..8] != MAGIC {
             return Err(malformed("h5lite", "bad magic"));
         }
-        let index_offset =
-            u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+        let index_offset = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
         if index_offset + 4 > bytes.len() {
             return Err(malformed("h5lite", "index offset out of range"));
         }
         let idx = &bytes[index_offset..bytes.len() - 4];
-        let stored_crc = u32::from_le_bytes(
-            bytes[bytes.len() - 4..].try_into().expect("4 bytes"),
-        );
+        let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
         if crc32c(idx) != stored_crc {
             return Err(FormatError::Io(drai_io::IoError::ChecksumMismatch {
                 context: "h5lite index".into(),
@@ -402,10 +413,7 @@ impl H5File {
                     }
                     let elems: usize = shape.iter().product();
                     if data.len() != elems * dtype.size_bytes() {
-                        return Err(malformed(
-                            "h5lite",
-                            format!("{path}: data/shape mismatch"),
-                        ));
+                        return Err(malformed("h5lite", format!("{path}: data/shape mismatch")));
                     }
                     Node::Dataset(Dataset {
                         dtype,
@@ -509,9 +517,14 @@ mod tests {
         f.set_attr("/ehr", "anonymized", AttrValue::Int(1)).unwrap();
         f.set_attr("/ehr/vitals", "units", AttrValue::Text("mixed".into()))
             .unwrap();
-        f.set_attr("/ehr/vitals", "mean", AttrValue::Float(2.375)).unwrap();
-        f.set_attr("/genomics/onehot", "alphabet", AttrValue::Bytes(b"ACGT".to_vec()))
+        f.set_attr("/ehr/vitals", "mean", AttrValue::Float(2.375))
             .unwrap();
+        f.set_attr(
+            "/genomics/onehot",
+            "alphabet",
+            AttrValue::Bytes(b"ACGT".to_vec()),
+        )
+        .unwrap();
         f
     }
 
@@ -548,8 +561,10 @@ mod tests {
         assert_eq!(f.attr("/ehr", "missing"), None);
         assert!(f.set_attr("/nope", "x", AttrValue::Int(1)).is_err());
         let back = H5File::from_bytes(&f.to_bytes()).unwrap();
-        assert_eq!(back.attr("/genomics/onehot", "alphabet"),
-                   Some(&AttrValue::Bytes(b"ACGT".to_vec())));
+        assert_eq!(
+            back.attr("/genomics/onehot", "alphabet"),
+            Some(&AttrValue::Bytes(b"ACGT".to_vec()))
+        );
     }
 
     #[test]

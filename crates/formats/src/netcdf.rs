@@ -343,7 +343,11 @@ impl NcFile {
             if v.data.len() != expect {
                 return Err(malformed(
                     "netcdf",
-                    format!("{}: data has {} elems, shape wants {expect}", v.name, v.data.len()),
+                    format!(
+                        "{}: data has {} elems, shape wants {expect}",
+                        v.name,
+                        v.data.len()
+                    ),
                 ));
             }
         }
@@ -533,8 +537,7 @@ impl NcFile {
         }
 
         // Record stride = sum of record-var vsizes.
-        let is_rec =
-            |v: &RawVar| v.dims.first().map(|&d| dims[d].is_record).unwrap_or(false);
+        let is_rec = |v: &RawVar| v.dims.first().map(|&d| dims[d].is_record).unwrap_or(false);
         let slab_elems = |v: &RawVar| -> usize {
             v.dims
                 .iter()
@@ -556,9 +559,9 @@ impl NcFile {
                 let mut all = Vec::with_capacity(numrecs * slab_bytes);
                 for r in 0..numrecs {
                     let at = v.begin + r * record_stride;
-                    let chunk = bytes
-                        .get(at..at + slab_bytes)
-                        .ok_or_else(|| malformed("netcdf", format!("{}: truncated record {r}", v.name)))?;
+                    let chunk = bytes.get(at..at + slab_bytes).ok_or_else(|| {
+                        malformed("netcdf", format!("{}: truncated record {r}", v.name))
+                    })?;
                     all.extend_from_slice(chunk);
                 }
                 NcValues::read_be(v.typ, numrecs * slab, &all)?
@@ -603,7 +606,9 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, FormatError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn name(&mut self) -> Result<String, FormatError> {
@@ -701,7 +706,9 @@ mod tests {
                         name: "units".into(),
                         values: NcValues::Char("K".into()),
                     }],
-                    data: NcValues::Float((0..nt * nlat * nlon).map(|i| 250.0 + i as f32).collect()),
+                    data: NcValues::Float(
+                        (0..nt * nlat * nlon).map(|i| 250.0 + i as f32).collect(),
+                    ),
                 },
                 NcVar {
                     name: "time".into(),
@@ -802,7 +809,10 @@ mod tests {
         let bytes = f.to_bytes().unwrap();
         let back = NcFile::from_bytes(&bytes).unwrap();
         assert_eq!(back, f);
-        assert_eq!(back.var("b").unwrap().data, NcValues::Double(vec![10.0, 20.0, 30.0]));
+        assert_eq!(
+            back.var("b").unwrap().data,
+            NcValues::Double(vec![10.0, 20.0, 30.0])
+        );
     }
 
     #[test]

@@ -70,10 +70,7 @@ pub fn parse_header(bytes: &[u8]) -> Result<NpyHeader, FormatError> {
     }
     let (major, minor) = (bytes[6], bytes[7]);
     let (hlen, header_start) = match (major, minor) {
-        (1, 0) => (
-            u16::from_le_bytes([bytes[8], bytes[9]]) as usize,
-            10usize,
-        ),
+        (1, 0) => (u16::from_le_bytes([bytes[8], bytes[9]]) as usize, 10usize),
         (2, 0) => {
             if bytes.len() < 12 {
                 return Err(malformed("npy", "truncated v2 header length"));
@@ -83,12 +80,7 @@ pub fn parse_header(bytes: &[u8]) -> Result<NpyHeader, FormatError> {
                 12usize,
             )
         }
-        _ => {
-            return Err(unsupported(
-                "npy",
-                format!("version {major}.{minor}"),
-            ))
-        }
+        _ => return Err(unsupported("npy", format!("version {major}.{minor}"))),
     };
     let end = header_start + hlen;
     if bytes.len() < end {
@@ -114,8 +106,12 @@ pub fn parse_header(bytes: &[u8]) -> Result<NpyHeader, FormatError> {
         .split("'shape':")
         .nth(1)
         .ok_or_else(|| malformed("npy", "no shape"))?;
-    let open = shape_src.find('(').ok_or_else(|| malformed("npy", "shape paren"))?;
-    let close = shape_src.find(')').ok_or_else(|| malformed("npy", "shape paren"))?;
+    let open = shape_src
+        .find('(')
+        .ok_or_else(|| malformed("npy", "shape paren"))?;
+    let close = shape_src
+        .find(')')
+        .ok_or_else(|| malformed("npy", "shape paren"))?;
     let mut shape = Vec::new();
     for part in shape_src[open + 1..close].split(',') {
         let part = part.trim();
@@ -155,7 +151,11 @@ pub fn read_npy<T: Element>(bytes: &[u8]) -> Result<Tensor<T>, FormatError> {
     if header.dtype != T::DTYPE {
         return Err(malformed(
             "npy",
-            format!("dtype mismatch: stored {}, requested {}", header.dtype, T::DTYPE),
+            format!(
+                "dtype mismatch: stored {}, requested {}",
+                header.dtype,
+                T::DTYPE
+            ),
         ));
     }
     let n: usize = header.shape.iter().product();
@@ -177,7 +177,8 @@ mod tests {
         //   np.save(f, np.arange(3, dtype='<f4'))  (NumPy 1.26)
         let t = Tensor::from_vec(vec![0.0_f32, 1.0, 2.0], &[3]).unwrap();
         let bytes = write_npy(&t);
-        let expected_header = b"\x93NUMPY\x01\x00\x76\x00{'descr': '<f4', 'fortran_order': False, 'shape': (3,), }";
+        let expected_header =
+            b"\x93NUMPY\x01\x00\x76\x00{'descr': '<f4', 'fortran_order': False, 'shape': (3,), }";
         assert_eq!(&bytes[..expected_header.len()], expected_header);
         // Total prefix is 64-aligned and ends with newline.
         assert_eq!(bytes.len() % 64, 12); // 128 header + 12 data bytes

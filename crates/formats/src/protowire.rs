@@ -104,7 +104,8 @@ pub fn decode_fields(mut data: &[u8]) -> Result<Vec<(u32, FieldValue<'_>)>, Form
         let wire = WireType::from_tag(key)?;
         let value = match wire {
             WireType::Varint => {
-                let (v, n) = read_uvarint(data).ok_or_else(|| malformed("protobuf", "bad varint"))?;
+                let (v, n) =
+                    read_uvarint(data).ok_or_else(|| malformed("protobuf", "bad varint"))?;
                 data = &data[n..];
                 FieldValue::Varint(v)
             }

@@ -82,7 +82,11 @@ pub fn parse_xyz(text: &str) -> Result<Vec<Frame>, FormatError> {
             if cols.len() != 4 && cols.len() != 7 {
                 return Err(malformed(
                     "xyz",
-                    format!("line {}: expected 4 or 7 columns, got {}", i + 3 + k, cols.len()),
+                    format!(
+                        "line {}: expected 4 or 7 columns, got {}",
+                        i + 3 + k,
+                        cols.len()
+                    ),
                 ));
             }
             let parse = |s: &str, what: &str| -> Result<f64, FormatError> {
@@ -217,7 +221,10 @@ mod tests {
             ],
             properties: [
                 ("energy".to_string(), "-13.47".to_string()),
-                ("lattice".to_string(), "5.43 0 0 0 5.43 0 0 0 5.43".to_string()),
+                (
+                    "lattice".to_string(),
+                    "5.43 0 0 0 5.43 0 0 0 5.43".to_string(),
+                ),
             ]
             .into_iter()
             .collect(),

@@ -26,7 +26,10 @@ pub struct ZipEntry {
 /// Panics if total size would exceed the 32-bit ZIP limits (callers shard
 /// well below 4 GiB).
 pub fn write_zip(entries: &[ZipEntry]) -> Vec<u8> {
-    let total: usize = entries.iter().map(|e| e.data.len() + e.name.len() + 92).sum();
+    let total: usize = entries
+        .iter()
+        .map(|e| e.data.len() + e.name.len() + 92)
+        .sum();
     let mut out = Vec::with_capacity(total + 22);
     let mut central = Vec::new();
     for entry in entries {
@@ -139,7 +142,10 @@ pub fn read_zip(bytes: &[u8]) -> Result<Vec<ZipEntry>, FormatError> {
         pos += 46 + name_len + extra_len + comment_len;
 
         if method != 0 {
-            return Err(unsupported("zip", format!("compression method {method} in {name}")));
+            return Err(unsupported(
+                "zip",
+                format!("compression method {method} in {name}"),
+            ));
         }
         if csize != usize_ {
             return Err(malformed("zip", "stored sizes disagree"));
@@ -212,7 +218,10 @@ mod tests {
     fn structure_markers() {
         let bytes = write_zip(&sample());
         assert_eq!(&bytes[..4], &LOCAL_MAGIC.to_le_bytes());
-        assert_eq!(&bytes[bytes.len() - 22..bytes.len() - 18], &EOCD_MAGIC.to_le_bytes());
+        assert_eq!(
+            &bytes[bytes.len() - 22..bytes.len() - 18],
+            &EOCD_MAGIC.to_le_bytes()
+        );
     }
 
     #[test]
@@ -237,7 +246,10 @@ mod tests {
     #[test]
     fn find_by_name() {
         let entries = sample();
-        assert_eq!(find_entry(&entries, "a.npy").unwrap().data, vec![1, 2, 3, 4, 5]);
+        assert_eq!(
+            find_entry(&entries, "a.npy").unwrap().data,
+            vec![1, 2, 3, 4, 5]
+        );
         assert!(find_entry(&entries, "missing").is_none());
     }
 

@@ -20,7 +20,11 @@ const fn build_tables(poly: u32) -> [[u32; 256]; 8] {
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ poly } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ poly
+            } else {
+                crc >> 1
+            };
             bit += 1;
         }
         tables[0][i] = crc;
@@ -193,7 +197,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -221,7 +228,11 @@ mod tests {
             for chunk in data.chunks(13) {
                 s.update(chunk);
             }
-            let expect = if castagnoli { crc32c(&data) } else { crc32(&data) };
+            let expect = if castagnoli {
+                crc32c(&data)
+            } else {
+                crc32(&data)
+            };
             assert_eq!(s.finalize(), expect);
         }
     }

@@ -60,7 +60,10 @@ impl fmt::Display for CodecError {
             CodecError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
             CodecError::UnknownCodec(id) => write!(f, "unknown codec id {id}"),
             CodecError::BadElementWidth { len, width } => {
-                write!(f, "payload length {len} not a multiple of element width {width}")
+                write!(
+                    f,
+                    "payload length {len} not a multiple of element width {width}"
+                )
             }
         }
     }
@@ -149,13 +152,60 @@ pub trait Codec: Send + Sync {
     fn decode(&self, data: &[u8]) -> Result<Vec<u8>, CodecError>;
 }
 
-/// Construct the codec implementation for an id.
+/// Construct the codec implementation for an id, instrumented so every
+/// encode/decode feeds the global telemetry registry:
+/// `io.codec.<name>.{encode_ns,decode_ns}` latency histograms and
+/// `io.codec.<name>.{bytes_in,bytes_out}` counters (encode direction).
+/// Metric handles are resolved once here, so the per-call cost is a
+/// clock read and a few relaxed atomics.
 pub fn codec_for(id: CodecId) -> Box<dyn Codec> {
-    match id {
+    let inner: Box<dyn Codec> = match id {
         CodecId::Raw => Box::new(RawCodec),
         CodecId::Rle => Box::new(RleCodec),
-        CodecId::Delta { width } => Box::new(DeltaCodec { width: width as usize }),
+        CodecId::Delta { width } => Box::new(DeltaCodec {
+            width: width as usize,
+        }),
         CodecId::Lz => Box::new(LzCodec::default()),
+    };
+    let registry = drai_telemetry::Registry::global();
+    let name = id.name();
+    Box::new(InstrumentedCodec {
+        encode_ns: registry.histogram(&format!("io.codec.{name}.encode_ns")),
+        decode_ns: registry.histogram(&format!("io.codec.{name}.decode_ns")),
+        bytes_in: registry.counter(&format!("io.codec.{name}.bytes_in")),
+        bytes_out: registry.counter(&format!("io.codec.{name}.bytes_out")),
+        inner,
+    })
+}
+
+/// Telemetry-recording wrapper returned by [`codec_for`].
+struct InstrumentedCodec {
+    inner: Box<dyn Codec>,
+    encode_ns: std::sync::Arc<drai_telemetry::Histogram>,
+    decode_ns: std::sync::Arc<drai_telemetry::Histogram>,
+    bytes_in: std::sync::Arc<drai_telemetry::Counter>,
+    bytes_out: std::sync::Arc<drai_telemetry::Counter>,
+}
+
+impl Codec for InstrumentedCodec {
+    fn id(&self) -> CodecId {
+        self.inner.id()
+    }
+
+    fn encode(&self, data: &[u8]) -> Vec<u8> {
+        let start = std::time::Instant::now();
+        let out = self.inner.encode(data);
+        self.encode_ns.record(start.elapsed().as_nanos() as u64);
+        self.bytes_in.add(data.len() as u64);
+        self.bytes_out.add(out.len() as u64);
+        out
+    }
+
+    fn decode(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let start = std::time::Instant::now();
+        let out = self.inner.decode(data);
+        self.decode_ns.record(start.elapsed().as_nanos() as u64);
+        out
     }
 }
 
@@ -229,7 +279,8 @@ impl Codec for RleCodec {
             pos += 1;
             let (len, n) = read_uvarint(&data[pos..]).ok_or(CodecError::Truncated)?;
             pos += n;
-            let len = usize::try_from(len).map_err(|_| CodecError::Corrupt("rle block too large"))?;
+            let len =
+                usize::try_from(len).map_err(|_| CodecError::Corrupt("rle block too large"))?;
             if out.len().saturating_add(len) > MAX_DECODED_BYTES {
                 return Err(CodecError::TooLarge {
                     declared: (out.len() + len) as u64,
@@ -289,7 +340,10 @@ impl Codec for DeltaCodec {
     }
 
     fn encode(&self, data: &[u8]) -> Vec<u8> {
-        assert!(matches!(self.width, 1 | 2 | 4 | 8), "unsupported delta width");
+        assert!(
+            matches!(self.width, 1 | 2 | 4 | 8),
+            "unsupported delta width"
+        );
         let mut out = Vec::with_capacity(data.len() / 2 + 16);
         if data.len() % self.width != 0 {
             // Raw fallback framing for non-aligned payloads.
@@ -564,7 +618,9 @@ mod tests {
     fn round_trip(id: CodecId, data: &[u8]) {
         let c = codec_for(id);
         let enc = c.encode(data);
-        let dec = c.decode(&enc).unwrap_or_else(|e| panic!("{id:?} decode: {e}"));
+        let dec = c
+            .decode(&enc)
+            .unwrap_or_else(|e| panic!("{id:?} decode: {e}"));
         assert_eq!(dec, data, "{id:?} round trip failed");
     }
 
@@ -757,7 +813,11 @@ mod tests {
     #[test]
     fn bitpack_round_trip() {
         for bits in [1u32, 3, 7, 8, 12, 16, 24, 33, 64] {
-            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
             let vals: Vec<u64> = (0..100u64).map(|i| (i * 2_654_435_761) & mask).collect();
             let packed = bitpack(&vals, bits);
             assert_eq!(packed.len(), (vals.len() * bits as usize).div_ceil(8));

@@ -415,8 +415,8 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 scalar (input is &str, so valid).
                     let s = &self.bytes[self.pos..];
                     let ch_len = utf8_len(s[0]);
-                    let chunk = std::str::from_utf8(&s[..ch_len])
-                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let chunk =
+                        std::str::from_utf8(&s[..ch_len]).map_err(|_| self.err("invalid utf-8"))?;
                     out.push_str(chunk);
                     self.pos += ch_len;
                 }
@@ -468,12 +468,10 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| JsonError {
-                offset: start,
-                message: "invalid number",
-            })
+        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
+            offset: start,
+            message: "invalid number",
+        })
     }
 }
 
@@ -539,10 +537,7 @@ mod tests {
 
     #[test]
     fn unicode_and_surrogates() {
-        assert_eq!(
-            Json::parse("\"\\u00e9\"").unwrap(),
-            Json::Str("é".into())
-        );
+        assert_eq!(Json::parse("\"\\u00e9\"").unwrap(), Json::Str("é".into()));
         assert_eq!(
             Json::parse("\"\\ud83d\\ude00\"").unwrap(),
             Json::Str("😀".into())
@@ -556,7 +551,16 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "{", "[1,", "{\"a\":}", "tru", "01x", "\"abc", "[1 2]", "{\"a\" 1}", "1 2",
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "01x",
+            "\"abc",
+            "[1 2]",
+            "{\"a\" 1}",
+            "1 2",
             "\"\u{01}\"",
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");

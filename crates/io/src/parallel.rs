@@ -8,10 +8,20 @@
 //! with crossbeam channels while preserving input order, which samplers
 //! downstream rely on for reproducible epochs.
 
+//!
+//! Telemetry: each [`prefetch_map`] pool reports into the global
+//! registry — `io.prefetch.items` (completed items), `io.prefetch.work_ns`
+//! (per-item execution latency, measured on the worker), `io.prefetch.wait_ns`
+//! (time the consumer blocked waiting for the next in-order item), and the
+//! `io.prefetch.reorder_depth` gauge (reorder-buffer high-water mark).
+
 use crossbeam::channel::{bounded, Receiver};
-use std::collections::BinaryHeap;
+use drai_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 /// Apply `f` to each item on `workers` background threads, yielding results
 /// **in input order** through a queue holding at most `queue_cap` completed
@@ -36,6 +46,10 @@ where
     let (work_tx, work_rx) = bounded::<(usize, T)>(workers * 2);
     let (done_tx, done_rx) = bounded::<(usize, thread::Result<U>)>(workers * queue_cap);
 
+    // Metric handles resolved once so the per-item path is atomics only.
+    let registry = Registry::global();
+    let work_hist = registry.histogram("io.prefetch.work_ns");
+
     // Feeder thread: enumerate work items.
     let feeder = thread::spawn(move || {
         for pair in items.into_iter().enumerate() {
@@ -51,9 +65,12 @@ where
         let work_rx = work_rx.clone();
         let done_tx = done_tx.clone();
         let f = f.clone();
+        let work_hist = work_hist.clone();
         pool.push(thread::spawn(move || {
             while let Ok((idx, item)) = work_rx.recv() {
+                let start = Instant::now();
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)));
+                work_hist.record(start.elapsed().as_nanos() as u64);
                 if done_tx.send((idx, result)).is_err() {
                     break;
                 }
@@ -69,6 +86,9 @@ where
         total,
         pending: BinaryHeap::new(),
         threads: Some((feeder, pool)),
+        items_counter: registry.counter("io.prefetch.items"),
+        wait_hist: registry.histogram("io.prefetch.wait_ns"),
+        depth_gauge: registry.gauge("io.prefetch.reorder_depth"),
     }
 }
 
@@ -79,6 +99,9 @@ pub struct PrefetchIter<U> {
     total: usize,
     pending: BinaryHeap<Reverse<HeapEntry<U>>>,
     threads: Option<(thread::JoinHandle<()>, Vec<thread::JoinHandle<()>>)>,
+    items_counter: Arc<Counter>,
+    wait_hist: Arc<Histogram>,
+    depth_gauge: Arc<Gauge>,
 }
 
 struct HeapEntry<U> {
@@ -111,14 +134,20 @@ impl<U> Iterator for PrefetchIter<U> {
             self.join();
             return None;
         }
+        let wait_start = Instant::now();
         loop {
             // Serve from the reorder buffer when the next index is ready.
             if let Some(Reverse(top)) = self.pending.peek() {
                 if top.index == self.next_index {
                     let Reverse(entry) = self.pending.pop().expect("peeked entry");
                     self.next_index += 1;
+                    self.wait_hist
+                        .record(wait_start.elapsed().as_nanos() as u64);
                     match entry.value {
-                        Ok(v) => return Some(v),
+                        Ok(v) => {
+                            self.items_counter.incr();
+                            return Some(v);
+                        }
                         Err(panic) => {
                             self.join();
                             std::panic::resume_unwind(panic)
@@ -134,6 +163,7 @@ impl<U> Iterator for PrefetchIter<U> {
             match recv {
                 Ok((index, value)) => {
                     self.pending.push(Reverse(HeapEntry { index, value }));
+                    self.depth_gauge.set(self.pending.len() as i64);
                 }
                 Err(_) => {
                     // Workers gone with items missing: a worker panicked

@@ -30,7 +30,9 @@ use crate::codec::{codec_for, CodecId};
 use crate::json::Json;
 use crate::sink::StorageSink;
 use crate::IoError;
+use drai_telemetry::Registry;
 use rayon::prelude::*;
+use std::time::Instant;
 
 const SHARD_MAGIC: &[u8; 8] = b"DSHRD1\0\0";
 const RECORD_HEADER: usize = 8; // u32 len + u32 masked crc
@@ -204,20 +206,38 @@ impl<'a> ShardWriter<'a> {
     /// Encode and write all records, preserving order, and persist the
     /// manifest. Record payload encoding runs data-parallel (rayon);
     /// shard files themselves are written concurrently once assembled.
+    ///
+    /// Telemetry: an `io.shard.write_all` span (items = records, bytes =
+    /// uncompressed payload), `io.shard.{records,bytes_in,bytes_out}`
+    /// counters, `io.shard.{encode_ns,write_ns}` phase histograms, and
+    /// the `io.shard.compression_permille` gauge (stored size as ‰ of
+    /// payload size, 1000 = incompressible).
     pub fn write_all<R>(&self, records: R) -> Result<ShardManifest, IoError>
     where
         R: IntoIterator,
         R::Item: AsRef<[u8]> + Send + Sync,
     {
+        let registry = Registry::global();
+        let span = registry.span("io.shard.write_all");
         let records: Vec<R::Item> = records.into_iter().collect();
         let payload_bytes: u64 = records.iter().map(|r| r.as_ref().len() as u64).sum();
+        span.add_items(records.len() as u64);
+        span.add_bytes(payload_bytes);
+        registry
+            .counter("io.shard.records")
+            .add(records.len() as u64);
+        registry.counter("io.shard.bytes_in").add(payload_bytes);
 
         // Parallel per-record encode (order preserved by collect).
         let codec = codec_for(self.spec.codec);
+        let encode_start = Instant::now();
         let encoded: Vec<Vec<u8>> = records
             .par_iter()
             .map(|r| codec.encode(r.as_ref()))
             .collect();
+        registry
+            .histogram("io.shard.encode_ns")
+            .record(encode_start.elapsed().as_nanos() as u64);
         drop(records);
 
         // Greedy size-based packing into shards.
@@ -240,12 +260,16 @@ impl<'a> ShardWriter<'a> {
         // Assemble and write shards in parallel; infos keep group order.
         let spec = &self.spec;
         let sink = self.sink;
+        let write_start = Instant::now();
         let infos: Vec<Result<ShardInfo, IoError>> = groups
             .par_iter()
             .enumerate()
             .map(|(idx, &(s, e))| {
                 let mut buf = Vec::with_capacity(
-                    12 + encoded[s..e].iter().map(|r| r.len() + RECORD_HEADER).sum::<usize>(),
+                    12 + encoded[s..e]
+                        .iter()
+                        .map(|r| r.len() + RECORD_HEADER)
+                        .sum::<usize>(),
                 );
                 buf.extend_from_slice(SHARD_MAGIC);
                 buf.push(spec.codec.tag());
@@ -265,9 +289,19 @@ impl<'a> ShardWriter<'a> {
                 })
             })
             .collect();
+        registry
+            .histogram("io.shard.write_ns")
+            .record(write_start.elapsed().as_nanos() as u64);
         let mut shards = Vec::with_capacity(infos.len());
         for info in infos {
             shards.push(info?);
+        }
+        let stored_bytes: u64 = shards.iter().map(|s| s.bytes).sum();
+        registry.counter("io.shard.bytes_out").add(stored_bytes);
+        if let Some(permille) = stored_bytes.saturating_mul(1000).checked_div(payload_bytes) {
+            registry
+                .gauge("io.shard.compression_permille")
+                .set(permille as i64);
         }
 
         let manifest = ShardManifest {

@@ -6,13 +6,33 @@
 //! filesystem in `drai-sim` (which implements this trait to model
 //! Lustre-style OST striping for the scaling experiments).
 
+//!
+//! Telemetry: both built-in sinks count `io.sink.bytes_written`,
+//! `io.sink.files_written`, and `io.sink.bytes_read`; [`LocalFs`]
+//! additionally records `io.sink.fsync_ns` (the `sync_all` latency of
+//! each durable write).
+
 use crate::IoError;
+use drai_telemetry::Registry;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write;
 use std::path::{Component, Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
+
+fn count_write(bytes: usize) {
+    let registry = Registry::global();
+    registry.counter("io.sink.bytes_written").add(bytes as u64);
+    registry.counter("io.sink.files_written").incr();
+}
+
+fn count_read(bytes: usize) {
+    Registry::global()
+        .counter("io.sink.bytes_read")
+        .add(bytes as u64);
+}
 
 /// A flat namespace of named byte blobs. Names may contain `/` separators;
 /// backends create intermediate directories as needed. Implementations must
@@ -87,14 +107,21 @@ impl StorageSink for LocalFs {
         {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(data)?;
+            let fsync_start = Instant::now();
             f.sync_all()?;
+            Registry::global()
+                .histogram("io.sink.fsync_ns")
+                .record(fsync_start.elapsed().as_nanos() as u64);
         }
         fs::rename(&tmp, &path)?;
+        count_write(data.len());
         Ok(())
     }
 
     fn read_file(&self, name: &str) -> Result<Vec<u8>, IoError> {
-        Ok(fs::read(self.path_of(name)?)?)
+        let data = fs::read(self.path_of(name)?)?;
+        count_read(data.len());
+        Ok(data)
     }
 
     fn list(&self) -> Result<Vec<String>, IoError> {
@@ -156,15 +183,19 @@ impl StorageSink for MemSink {
     fn write_file(&self, name: &str, data: &[u8]) -> Result<(), IoError> {
         validate_name(name)?;
         self.files.lock().insert(name.to_string(), data.to_vec());
+        count_write(data.len());
         Ok(())
     }
 
     fn read_file(&self, name: &str) -> Result<Vec<u8>, IoError> {
-        self.files
+        let data = self
+            .files
             .lock()
             .get(name)
             .cloned()
-            .ok_or_else(|| IoError::Format(format!("no such blob: {name}")))
+            .ok_or_else(|| IoError::Format(format!("no such blob: {name}")))?;
+        count_read(data.len());
+        Ok(data)
     }
 
     fn list(&self) -> Result<Vec<String>, IoError> {
@@ -239,7 +270,8 @@ mod tests {
                 let sink = &sink;
                 s.spawn(move || {
                     for i in 0..50 {
-                        sink.write_file(&format!("t{t}/f{i}"), &[t as u8; 64]).unwrap();
+                        sink.write_file(&format!("t{t}/f{i}"), &[t as u8; 64])
+                            .unwrap();
                     }
                 });
             }

@@ -188,7 +188,10 @@ impl fmt::Display for ProvenanceError {
         match self {
             ProvenanceError::Malformed(m) => write!(f, "malformed provenance: {m}"),
             ProvenanceError::NotReproducible { seq, output } => {
-                write!(f, "transformation {seq} not reproducible: output {output} diverged")
+                write!(
+                    f,
+                    "transformation {seq} not reproducible: output {output} diverged"
+                )
             }
             ProvenanceError::UnknownArtifact(id) => write!(f, "unknown artifact {id}"),
         }
@@ -324,9 +327,8 @@ impl Ledger {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let v = Json::parse(line).map_err(|e| {
-                    ProvenanceError::Malformed(format!("line {}: {e}", lineno + 1))
-                })?;
+                let v = Json::parse(line)
+                    .map_err(|e| ProvenanceError::Malformed(format!("line {}: {e}", lineno + 1)))?;
                 let t = Transformation::from_json(&v)?;
                 if t.seq != inner.transformations.len() as u64 {
                     return Err(ProvenanceError::Malformed(format!(
@@ -464,10 +466,7 @@ mod tests {
         assert_eq!(back.len(), 3);
         let lineage = back.lineage(&shard.id).unwrap();
         assert_eq!(lineage.len(), 3);
-        assert_eq!(
-            lineage[0].params.get("target"),
-            Some(&"64x128".to_string())
-        );
+        assert_eq!(lineage[0].params.get("target"), Some(&"64x128".to_string()));
     }
 
     #[test]
@@ -496,7 +495,10 @@ mod tests {
                 vec![("normalized.npy".to_string(), b"DIFFERENT".to_vec())]
             })
             .unwrap_err();
-        assert!(matches!(err, ProvenanceError::NotReproducible { seq: 1, .. }));
+        assert!(matches!(
+            err,
+            ProvenanceError::NotReproducible { seq: 1, .. }
+        ));
         // Missing output caught.
         assert!(ledger.verify_reproduction(1, |_| vec![]).is_err());
         // Unknown seq.

@@ -71,7 +71,9 @@ impl SimConfig {
                 "ost_count, stripe_size, stripe_count must be positive".into(),
             ));
         }
-        if !(self.ost_bandwidth > 0.0) || !(self.ost_latency >= 0.0) {
+        let bandwidth_bad = self.ost_bandwidth.is_nan() || self.ost_bandwidth <= 0.0;
+        let latency_bad = self.ost_latency.is_nan() || self.ost_latency < 0.0;
+        if bandwidth_bad || latency_bad {
             return Err(IoError::Format("bad bandwidth/latency".into()));
         }
         Ok(())
@@ -188,7 +190,13 @@ impl SimFs {
     /// Simulate moving `len` bytes striped from `start_ost` (the cost
     /// model is symmetric for reads and writes); returns the operation's
     /// completion time. `is_read` selects which byte counter to charge.
-    fn simulate_transfer(&self, st: &mut SimState, len: usize, start_ost: usize, is_read: bool) -> f64 {
+    fn simulate_transfer(
+        &self,
+        st: &mut SimState,
+        len: usize,
+        start_ost: usize,
+        is_read: bool,
+    ) -> f64 {
         let stripe_count = self.config.stripe_count.min(self.config.ost_count);
         // Split the file into stripe_size chunks, distribute round-robin
         // over the file's stripe group, then issue one batched op per OST.
@@ -255,7 +263,6 @@ impl StorageSink for SimFs {
         Ok(self.state.lock().files.keys().cloned().collect())
     }
 
-
     fn delete(&self, name: &str) -> Result<(), IoError> {
         self.state.lock().files.remove(name);
         Ok(())
@@ -277,7 +284,6 @@ mod tests {
             stripe_size: 1 << 20,
             ost_bandwidth: 1e9,
             ost_latency: 0.0,
-            ..SimConfig::default()
         })
         .unwrap()
     }
@@ -305,10 +311,7 @@ mod tests {
         let wide = fs(8, 8);
         wide.write_file("f", &data).unwrap();
         let speedup = narrow.makespan() / wide.makespan();
-        assert!(
-            (speedup - 8.0).abs() < 0.01,
-            "speedup {speedup}"
-        );
+        assert!((speedup - 8.0).abs() < 0.01, "speedup {speedup}");
     }
 
     #[test]
@@ -333,7 +336,10 @@ mod tests {
         }
         let report = fs.ost_report();
         // 8 single-stripe files over 4 OSTs: 2 MiB each.
-        assert!(report.bytes_per_ost.iter().all(|&b| b == 2 << 20), "{report:?}");
+        assert!(
+            report.bytes_per_ost.iter().all(|&b| b == 2 << 20),
+            "{report:?}"
+        );
         // Perfect overlap: makespan = time for 2 files on one OST.
         let expected = 2.0 * (1 << 20) as f64 / 1e9;
         assert!((fs.makespan() - expected).abs() < 1e-12);
@@ -347,7 +353,6 @@ mod tests {
             stripe_size: 1 << 20,
             ost_bandwidth: 1e9,
             ost_latency: 1e-3,
-            ..SimConfig::default()
         })
         .unwrap();
         // A 1 KiB write costs ~latency, not bandwidth.

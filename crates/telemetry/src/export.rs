@@ -1,0 +1,253 @@
+//! Render a [`Snapshot`] as JSON, JSONL, or criterion-compatible
+//! `estimates.json` files.
+//!
+//! The JSON document has four top-level keys:
+//!
+//! ```json
+//! {
+//!   "counters":   {"io.shard.bytes_in": 123},
+//!   "gauges":     {"io.prefetch.reorder_depth": {"value": 0, "max": 3}},
+//!   "histograms": {"io.sink.fsync_ns": {"count": 2, "sum": 900, "min": 400,
+//!                  "max": 500, "mean": 450.0, "p50": 448, "p90": 500,
+//!                  "p99": 500, "buckets": [[8, 2]]}},
+//!   "spans":      [{"name": "pipeline.climate.regrid", "start_ns": 10,
+//!                  "dur_ns": 4200, "items": 240, "bytes": 0}]
+//! }
+//! ```
+//!
+//! JSONL emits the same data one object per line with a `"kind"`
+//! discriminator, suitable for appending across runs.
+//! [`write_criterion_estimates`] writes each histogram's mean as
+//! `<root>/<name>/new/estimates.json` in the layout
+//! `scripts/summarize_bench.py` already consumes.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::{HistogramSummary, Snapshot, SpanRecord};
+
+/// Escape a string for inclusion in a JSON document.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Keep integers terse but always valid JSON numbers.
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{:.1}", v)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+fn histogram_json(h: &HistogramSummary) -> String {
+    let buckets: Vec<String> = h
+        .buckets
+        .iter()
+        .map(|(i, n)| format!("[{i},{n}]"))
+        .collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
+         \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        fmt_f64(h.mean),
+        h.p50,
+        h.p90,
+        h.p99,
+        buckets.join(",")
+    )
+}
+
+fn span_json(s: &SpanRecord) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"items\":{},\"bytes\":{}}}",
+        escape_json(&s.name),
+        s.start_ns,
+        s.dur_ns,
+        s.items,
+        s.bytes
+    )
+}
+
+/// Render the whole snapshot as one JSON object.
+pub fn to_json(snap: &Snapshot) -> String {
+    let counters: Vec<String> = snap
+        .counters
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", escape_json(k), v))
+        .collect();
+    let gauges: Vec<String> = snap
+        .gauges
+        .iter()
+        .map(|(k, (v, m))| format!("\"{}\":{{\"value\":{},\"max\":{}}}", escape_json(k), v, m))
+        .collect();
+    let histograms: Vec<String> = snap
+        .histograms
+        .iter()
+        .map(|(k, h)| format!("\"{}\":{}", escape_json(k), histogram_json(h)))
+        .collect();
+    let spans: Vec<String> = snap.spans.iter().map(span_json).collect();
+    format!(
+        "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}},\"spans\":[{}]}}",
+        counters.join(","),
+        gauges.join(","),
+        histograms.join(","),
+        spans.join(",")
+    )
+}
+
+/// Render the snapshot as JSONL: one object per metric/span, each
+/// tagged with a `"kind"` field.
+pub fn to_jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (k, v) in &snap.counters {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            escape_json(k),
+            v
+        );
+    }
+    for (k, (v, m)) in &snap.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{},\"max\":{}}}",
+            escape_json(k),
+            v,
+            m
+        );
+    }
+    for (k, h) in &snap.histograms {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"histogram\",\"name\":\"{}\",\"summary\":{}}}",
+            escape_json(k),
+            histogram_json(h)
+        );
+    }
+    for s in &snap.spans {
+        let _ = writeln!(out, "{{\"kind\":\"span\",\"span\":{}}}", span_json(s));
+    }
+    out
+}
+
+/// Write each histogram's mean as a criterion-style estimate:
+/// `<root>/<histogram name with '.' as '/'>/new/estimates.json`, the
+/// layout `scripts/summarize_bench.py` walks. Returns the number of
+/// files written.
+pub fn write_criterion_estimates(snap: &Snapshot, root: &Path) -> std::io::Result<usize> {
+    let mut written = 0;
+    for (name, h) in &snap.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        let mut dir = root.to_path_buf();
+        for seg in name.split('.') {
+            if !seg.is_empty() {
+                dir.push(seg);
+            }
+        }
+        dir.push("new");
+        std::fs::create_dir_all(&dir)?;
+        let json = format!(
+            "{{\"mean\":{{\"point_estimate\":{}}},\"median\":{{\"point_estimate\":{}}},\
+             \"sample_count\":{}}}",
+            fmt_f64(h.mean),
+            h.p50,
+            h.count
+        );
+        std::fs::write(dir.join("estimates.json"), json)?;
+        written += 1;
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let reg = Registry::new();
+        reg.counter("a.count").add(7);
+        reg.gauge("b.depth").set(4);
+        reg.gauge("b.depth").set(2);
+        reg.histogram("c.ns").record(100);
+        reg.histogram("c.ns").record(300);
+        {
+            let s = reg.span("stage.one");
+            s.add_items(5);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_has_all_sections_and_values() {
+        let json = sample_snapshot().to_json();
+        assert!(json.contains("\"a.count\":7"));
+        assert!(json.contains("\"b.depth\":{\"value\":2,\"max\":4}"));
+        assert!(json.contains("\"c.ns\":{\"count\":2,\"sum\":400"));
+        assert!(json.contains("\"name\":\"stage.one\""));
+        assert!(json.contains("\"items\":5"));
+        // Balanced braces and quotes — cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let snap = sample_snapshot();
+        let jsonl = snap.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        // 1 counter + 1 gauge + 2 histograms (c.ns + stage.one.ns) + 1 span.
+        assert_eq!(lines.len(), 5);
+        for line in lines {
+            assert!(line.starts_with("{\"kind\":\""), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn criterion_layout_matches_summarizer() {
+        let snap = sample_snapshot();
+        let tmp = std::env::temp_dir().join(format!("drai-telem-{}", std::process::id()));
+        let n = write_criterion_estimates(&snap, &tmp).unwrap();
+        assert_eq!(n, 2);
+        let est = std::fs::read_to_string(tmp.join("c/ns/new/estimates.json")).unwrap();
+        assert!(est.contains("\"mean\":{\"point_estimate\":200.0}"), "{est}");
+        assert!(tmp.join("stage/one/ns/new/estimates.json").is_file());
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+}

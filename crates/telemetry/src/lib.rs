@@ -1,0 +1,584 @@
+//! Unified telemetry for the DRAI stack.
+//!
+//! A [`Registry`] holds named [`Counter`]s, [`Gauge`]s, and log2-bucket
+//! latency [`Histogram`]s, plus a log of completed [`SpanRecord`]s from
+//! scoped timers. All hot-path operations are single atomic instructions
+//! so instrumentation is safe inside pipeline stage loops and I/O worker
+//! threads. [`Snapshot`] freezes the registry into plain data and the
+//! [`export`] module renders it as JSON, JSONL, or criterion-style
+//! `estimates.json` files consumed by `scripts/summarize_bench.py`.
+//!
+//! ```
+//! use drai_telemetry::Registry;
+//!
+//! let reg = Registry::new();
+//! reg.counter("io.bytes").add(4096);
+//! {
+//!     let span = reg.span("pipeline.demo.validate");
+//!     span.add_items(128);
+//!     // ... stage work ...
+//! } // span records its duration on drop
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counters["io.bytes"], 4096);
+//! assert_eq!(snap.spans[0].items, 128);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+
+pub mod export;
+
+pub use export::write_criterion_estimates;
+
+/// Number of log2 latency buckets: bucket `i` holds values with
+/// `ilog2(v) == i` (bucket 0 also holds 0), so the range spans 1 ns to
+/// ~584 years.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed level (queue depths, in-flight work).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    max_seen: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max_seen.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by `delta` and return the new value.
+    #[inline]
+    pub fn add(&self, delta: i64) -> i64 {
+        let new = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.max_seen.fetch_max(new, Ordering::Relaxed);
+        new
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since creation/reset.
+    pub fn max(&self) -> i64 {
+        self.max_seen.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket log2 histogram for durations (or any u64 magnitude).
+///
+/// Recording is two relaxed atomic adds plus two atomic min/max — no
+/// locks, no allocation — so it can sit inside per-record loops.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            value.ilog2() as usize
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation, or 0 with no data.
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Smallest observation, or 0 with no data.
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile from bucket midpoints (`q` in `[0, 1]`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // Midpoint of bucket i: [2^i, 2^(i+1)).
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return (lo + (hi - lo) / 2).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    fn bucket_counts(&self) -> Vec<(u8, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u8, n))
+            })
+            .collect()
+    }
+}
+
+/// A completed span: one timed, named unit of work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `pipeline.climate.regrid`).
+    pub name: String,
+    /// Start offset in ns from the registry's epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in ns (at least 1).
+    pub dur_ns: u64,
+    /// Items processed inside the span (0 when not applicable).
+    pub items: u64,
+    /// Bytes processed inside the span (0 when not applicable).
+    pub bytes: u64,
+}
+
+/// Live scoped timer; records a [`SpanRecord`] (and a `<name>.ns`
+/// histogram observation) into its registry when dropped.
+pub struct Span<'a> {
+    registry: &'a Registry,
+    name: String,
+    start: Instant,
+    start_ns: u64,
+    items: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl Span<'_> {
+    /// Attribute `n` processed items to this span.
+    pub fn add_items(&self, n: u64) {
+        self.items.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Attribute `n` processed bytes to this span.
+    pub fn add_bytes(&self, n: u64) {
+        self.bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Span name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let dur_ns = (self.start.elapsed().as_nanos() as u64).max(1);
+        self.registry
+            .histogram(&format!("{}.ns", self.name))
+            .record(dur_ns);
+        self.registry.spans.lock().push(SpanRecord {
+            name: std::mem::take(&mut self.name),
+            start_ns: self.start_ns,
+            dur_ns,
+            items: self.items.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        });
+    }
+}
+
+/// Frozen copy of a registry's state, ready for export.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → (current, high-water mark).
+    pub gauges: BTreeMap<String, (i64, i64)>,
+    /// Histogram name → summary.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Completed spans in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Scalar summary of one histogram.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSummary {
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+    /// Non-empty log2 buckets as `(bucket_index, count)`.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl Snapshot {
+    /// Spans with the given name, in completion order.
+    pub fn spans_named(&self, name: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Full JSON document (see [`export::to_json`]).
+    pub fn to_json(&self) -> String {
+        export::to_json(self)
+    }
+
+    /// JSONL, one metric or span per line (see [`export::to_jsonl`]).
+    pub fn to_jsonl(&self) -> String {
+        export::to_jsonl(self)
+    }
+}
+
+/// Holds all named metrics. Cheap to share (`&Registry` or the
+/// process-wide [`Registry::global`]).
+pub struct Registry {
+    epoch: Instant,
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("counters", &self.counters.read().len())
+            .field("gauges", &self.gauges.read().len())
+            .field("histograms", &self.histograms.read().len())
+            .field("spans", &self.spans.lock().len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            epoch: Instant::now(),
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Process-wide registry used by the instrumented pipeline and I/O
+    /// layers.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+        if let Some(v) = map.read().get(name) {
+            return v.clone();
+        }
+        map.write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(T::default()))
+            .clone()
+    }
+
+    /// Named counter, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Self::get_or_insert(&self.counters, name)
+    }
+
+    /// Named gauge, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Self::get_or_insert(&self.gauges, name)
+    }
+
+    /// Named histogram, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Self::get_or_insert(&self.histograms, name)
+    }
+
+    /// Start a scoped timer; it records itself when dropped.
+    pub fn span(&self, name: impl Into<String>) -> Span<'_> {
+        Span {
+            registry: self,
+            name: name.into(),
+            start: Instant::now(),
+            start_ns: self.epoch.elapsed().as_nanos() as u64,
+            items: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Time `f` under `name`, returning its result.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let _span = self.span(name);
+        f()
+    }
+
+    /// Freeze current state into a [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), (v.get(), v.max())))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        HistogramSummary {
+                            count: v.count(),
+                            sum: v.sum(),
+                            min: v.min(),
+                            max: v.max(),
+                            mean: v.mean(),
+                            p50: v.quantile(0.50),
+                            p90: v.quantile(0.90),
+                            p99: v.quantile(0.99),
+                            buckets: v.bucket_counts(),
+                        },
+                    )
+                })
+                .collect(),
+            spans: self.spans.lock().clone(),
+        }
+    }
+
+    /// Drop every metric and span. Handed-out `Arc`s keep working but
+    /// are no longer reachable from the registry.
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+        self.spans.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = Registry::new();
+        reg.counter("c").add(3);
+        reg.counter("c").incr();
+        assert_eq!(reg.counter("c").get(), 4);
+
+        let g = reg.gauge("g");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.max(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 7, 8, 1000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1_001_017);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1_000_000);
+        // 0 and the two 1s share bucket 0; 7 is bucket 2; 8 bucket 3.
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], (0, 3));
+        assert!(h.quantile(0.0) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(1.0));
+        assert!(h.quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn spans_record_on_drop() {
+        let reg = Registry::new();
+        {
+            let span = reg.span("work.unit");
+            span.add_items(10);
+            span.add_bytes(4096);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        {
+            let _s = reg.span("work.unit");
+        }
+        let snap = reg.snapshot();
+        let spans = snap.spans_named("work.unit");
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].dur_ns >= 1_000_000);
+        assert_eq!(spans[0].items, 10);
+        assert_eq!(spans[0].bytes, 4096);
+        assert!(spans[1].start_ns >= spans[0].start_ns);
+        // Drop also feeds the latency histogram.
+        assert_eq!(snap.histograms["work.unit.ns"].count, 2);
+    }
+
+    #[test]
+    fn time_helper_returns_value() {
+        let reg = Registry::new();
+        let out = reg.time("calc", || 6 * 7);
+        assert_eq!(out, 42);
+        assert_eq!(reg.snapshot().spans_named("calc").len(), 1);
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let reg = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let c = reg.counter("hot");
+                    let h = reg.histogram("lat");
+                    for i in 0..10_000u64 {
+                        c.incr();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("hot").get(), 80_000);
+        assert_eq!(reg.histogram("lat").count(), 80_000);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let reg = Registry::new();
+        reg.counter("a").incr();
+        reg.time("s", || ());
+        reg.reset();
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.spans.is_empty());
+        // Histogram created by the span drop is also gone.
+        assert!(snap.histograms.is_empty());
+    }
+}

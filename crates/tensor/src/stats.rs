@@ -185,7 +185,8 @@ impl P2Quantile {
         self.count += 1;
         if self.initial.len() < 5 {
             self.initial.push(x);
-            self.initial.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            self.initial
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
             if self.initial.len() == 5 {
                 self.heights.copy_from_slice(&self.initial);
             }
@@ -352,7 +353,9 @@ mod tests {
 
     #[test]
     fn welford_matches_two_pass() {
-        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0)
+            .collect();
         let mut w = Welford::new();
         w.extend(&xs);
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
@@ -411,7 +414,9 @@ mod tests {
         // Deterministic pseudo-random uniform stream.
         let mut state = 0x2545F4914F6CDD1D_u64;
         for _ in 0..10_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (state >> 11) as f64 / (1u64 << 53) as f64;
             q.push(x);
         }

@@ -286,7 +286,11 @@ impl<T: Element> Tensor<T> {
     }
 
     /// Elementwise combination of two same-shaped tensors.
-    pub fn zip_with(&self, other: &Tensor<T>, f: impl Fn(T, T) -> T) -> Result<Tensor<T>, TensorError> {
+    pub fn zip_with(
+        &self,
+        other: &Tensor<T>,
+        f: impl Fn(T, T) -> T,
+    ) -> Result<Tensor<T>, TensorError> {
         if self.shape != other.shape {
             return Err(TensorError::IncompatibleShapes {
                 left: self.shape.clone(),
@@ -389,7 +393,10 @@ mod tests {
     #[test]
     fn shape_mismatch_rejected() {
         let err = Tensor::from_vec(vec![1.0_f64; 5], &[2, 3]).unwrap_err();
-        assert!(matches!(err, TensorError::ShapeMismatch { elements: 5, .. }));
+        assert!(matches!(
+            err,
+            TensorError::ShapeMismatch { elements: 5, .. }
+        ));
     }
 
     #[test]

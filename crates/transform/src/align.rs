@@ -71,7 +71,7 @@ pub struct Clock {
 impl Clock {
     /// Build a clock covering `[start, end]` at `rate_hz`.
     pub fn covering(start: f64, end: f64, rate_hz: f64) -> Result<Clock, TransformError> {
-        if !(rate_hz > 0.0) || end < start {
+        if rate_hz.is_nan() || rate_hz <= 0.0 || end < start {
             return Err(TransformError::InvalidInput(format!(
                 "bad clock: [{start}, {end}] at {rate_hz} Hz"
             )));
@@ -145,10 +145,7 @@ pub fn align_channels(
             matrix[t * nch + c] = v;
         }
     }
-    Ok((
-        matrix,
-        channels.iter().map(|c| c.name.clone()).collect(),
-    ))
+    Ok((matrix, channels.iter().map(|c| c.name.clone()).collect()))
 }
 
 /// Slice an aligned `[ntime, nch]` matrix into fixed windows of

@@ -240,10 +240,7 @@ pub fn scan_for_identifiers(text: &str) -> Vec<(IdentifierKind, String)> {
             k += 1;
         }
         if k > dstart {
-            hits.push((
-                IdentifierKind::Mrn,
-                text[start..start + 3 + k].to_string(),
-            ));
+            hits.push((IdentifierKind::Mrn, text[start..start + 3 + k].to_string()));
         }
         at = start + 3;
     }
@@ -363,7 +360,11 @@ mod tests {
     #[test]
     fn scanner_clean_text() {
         let text = "plasma current reached 1.2 MA at t=3.5s in shot 176042";
-        assert!(scan_for_identifiers(text).is_empty(), "{:?}", scan_for_identifiers(text));
+        assert!(
+            scan_for_identifiers(text).is_empty(),
+            "{:?}",
+            scan_for_identifiers(text)
+        );
     }
 
     #[test]

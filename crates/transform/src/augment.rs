@@ -54,7 +54,7 @@ pub fn flip_horizontal(field: &Tensor<f64>) -> Result<Tensor<f64>, TransformErro
 /// Add zero-mean Gaussian noise with standard deviation `sigma`
 /// (Box-Muller from the supplied RNG). NaNs pass through untouched.
 pub fn jitter<R: Rng>(values: &mut [f64], sigma: f64, rng: &mut R) -> Result<(), TransformError> {
-    if !(sigma >= 0.0) {
+    if sigma.is_nan() || sigma < 0.0 {
         return Err(TransformError::InvalidInput(format!("sigma {sigma}")));
     }
     if sigma == 0.0 {
@@ -179,8 +179,7 @@ mod tests {
         let mut values = vec![10.0; 20_000];
         jitter(&mut values, 2.0, &mut rng).unwrap();
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
         assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }
@@ -226,8 +225,8 @@ mod tests {
         let out = augment_to_count(&samples, 8).unwrap();
         assert_eq!(out.len(), 8);
         assert_eq!(out[0], grid()); // originals preserved
-        // All variants differ from each other (dihedral orbit of an
-        // asymmetric grid).
+                                    // All variants differ from each other (dihedral orbit of an
+                                    // asymmetric grid).
         for i in 0..out.len() {
             for j in i + 1..out.len() {
                 assert_ne!(out[i], out[j], "variants {i} and {j} identical");

@@ -52,10 +52,7 @@ impl Vocabulary {
             .iter()
             .map(|v| {
                 self.index(v.as_ref()).ok_or_else(|| {
-                    TransformError::InvalidInput(format!(
-                        "unseen category {:?}",
-                        v.as_ref()
-                    ))
+                    TransformError::InvalidInput(format!("unseen category {:?}", v.as_ref()))
                 })
             })
             .collect()

@@ -7,7 +7,7 @@ use crate::TransformError;
 /// Central-difference first derivative of a uniformly sampled signal
 /// (`dt` seconds between samples). One-sided differences at boundaries.
 pub fn derivative(signal: &[f64], dt: f64) -> Result<Vec<f64>, TransformError> {
-    if !(dt > 0.0) {
+    if dt.is_nan() || dt <= 0.0 {
         return Err(TransformError::InvalidInput(format!("dt = {dt}")));
     }
     let n = signal.len();
@@ -131,10 +131,7 @@ pub fn power_spectrum(signal: &[f64]) -> Result<Vec<f64>, TransformError> {
 
 /// Band power features: integrate the power spectrum over `bands`
 /// (inclusive bin ranges as fractions of Nyquist, e.g. `(0.0, 0.1)`).
-pub fn band_powers(
-    spectrum: &[f64],
-    bands: &[(f64, f64)],
-) -> Result<Vec<f64>, TransformError> {
+pub fn band_powers(spectrum: &[f64], bands: &[(f64, f64)]) -> Result<Vec<f64>, TransformError> {
     if spectrum.is_empty() {
         return Err(TransformError::InvalidInput("empty spectrum".into()));
     }
@@ -170,9 +167,9 @@ mod tests {
         let dt = 0.001;
         let signal: Vec<f64> = (0..1000).map(|i| (i as f64 * dt * 10.0).sin()).collect();
         let d = derivative(&signal, dt).unwrap();
-        for i in 10..990 {
+        for (i, &di) in d.iter().enumerate().take(990).skip(10) {
             let expect = 10.0 * (i as f64 * dt * 10.0).cos();
-            assert!((d[i] - expect).abs() < 1e-3, "i={i}: {} vs {expect}", d[i]);
+            assert!((di - expect).abs() < 1e-3, "i={i}: {di} vs {expect}");
         }
     }
 

@@ -120,16 +120,8 @@ pub fn impute(values: &mut [f64], strategy: Strategy) -> Result<usize, Transform
                             values[slot] = l + (r - l) * t;
                         }
                     }
-                    (Some(l), None) => {
-                        for slot in i..j {
-                            values[slot] = l;
-                        }
-                    }
-                    (None, Some(r)) => {
-                        for slot in i..j {
-                            values[slot] = r;
-                        }
-                    }
+                    (Some(l), None) => values[i..j].fill(l),
+                    (None, Some(r)) => values[i..j].fill(r),
                     (None, None) => unreachable!("not all NaN"),
                 }
                 i = j;

@@ -95,10 +95,7 @@ impl Normalizer {
     }
 
     /// Fit on chunks as a parallel reduction (ZScore/MinMax only).
-    pub fn fit_parallel(
-        method: Method,
-        chunks: &[&[f64]],
-    ) -> Result<Normalizer, TransformError> {
+    pub fn fit_parallel(method: Method, chunks: &[&[f64]]) -> Result<Normalizer, TransformError> {
         let merged = chunks
             .iter()
             .map(|c| {
@@ -197,7 +194,9 @@ mod tests {
     use super::*;
 
     fn sample() -> Vec<f64> {
-        (0..1000).map(|i| (i as f64 * 0.37).sin() * 12.0 + 7.0).collect()
+        (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 12.0 + 7.0)
+            .collect()
     }
 
     #[test]

@@ -126,12 +126,12 @@ pub fn conservative(
         })
         .collect();
 
-    for di in 0..dst_grid.nlat() {
-        for dj in 0..dst_grid.nlon() {
+    for lat_row in &lat_overlaps {
+        for lon_row in &lon_overlaps {
             let mut num = 0.0;
             let mut den = 0.0;
-            for &(si, wi) in &lat_overlaps[di] {
-                for &(sj, wj) in &lon_overlaps[dj] {
+            for &(si, wi) in lat_row {
+                for &(sj, wj) in lon_row {
                     let v = src[si * snlon + sj];
                     if v.is_nan() {
                         continue;

@@ -97,13 +97,17 @@ pub fn assign(key: &str, seed: u64, fractions: Fractions) -> Result<Split, Trans
     })
 }
 
+/// The three partitions produced by [`partition`], in
+/// (train, validation, test) order.
+pub type Partitioned<T> = (Vec<T>, Vec<T>, Vec<T>);
+
 /// Partition `(key, payload)` pairs into the three splits, preserving
 /// input order within each split.
 pub fn partition<T>(
     items: Vec<(String, T)>,
     seed: u64,
     fractions: Fractions,
-) -> Result<(Vec<T>, Vec<T>, Vec<T>), TransformError> {
+) -> Result<Partitioned<T>, TransformError> {
     fractions.validate()?;
     let mut train = Vec::new();
     let mut val = Vec::new();
@@ -137,10 +141,16 @@ mod tests {
         let mut counts: HashMap<Split, usize> = HashMap::new();
         let n = 20_000;
         for i in 0..n {
-            *counts.entry(assign(&format!("key-{i}"), 7, f).unwrap()).or_insert(0) += 1;
+            *counts
+                .entry(assign(&format!("key-{i}"), 7, f).unwrap())
+                .or_insert(0) += 1;
         }
         let frac = |s: Split| counts[&s] as f64 / n as f64;
-        assert!((frac(Split::Train) - 0.8).abs() < 0.02, "{}", frac(Split::Train));
+        assert!(
+            (frac(Split::Train) - 0.8).abs() < 0.02,
+            "{}",
+            frac(Split::Train)
+        );
         assert!((frac(Split::Validation) - 0.1).abs() < 0.02);
         assert!((frac(Split::Test) - 0.1).abs() < 0.02);
     }
@@ -192,8 +202,7 @@ mod tests {
 
     #[test]
     fn partition_splits_payloads() {
-        let items: Vec<(String, usize)> =
-            (0..3000).map(|i| (format!("k{i}"), i)).collect();
+        let items: Vec<(String, usize)> = (0..3000).map(|i| (format!("k{i}"), i)).collect();
         let (train, val, test) = partition(items, 5, Fractions::standard()).unwrap();
         assert_eq!(train.len() + val.len() + test.len(), 3000);
         assert!(train.len() > 2000);

@@ -184,7 +184,10 @@ mod tests {
     #[test]
     fn materials_units() {
         assert!(close(convert(1.0, "angstrom", "m").unwrap(), 1e-10));
-        assert!(close(convert(12.0, "amu", "kg").unwrap(), 12.0 * 1.6605390666e-27));
+        assert!(close(
+            convert(12.0, "amu", "kg").unwrap(),
+            12.0 * 1.6605390666e-27
+        ));
     }
 
     #[test]

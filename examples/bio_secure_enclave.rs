@@ -26,7 +26,9 @@ fn main() {
     // Show the intake audit: raw data trips the PHI scanner.
     bio::generate_raw(&cfg, sink.as_ref()).expect("generate raw EHR+FASTA");
     let raw_csv = sink.read_file("raw/ehr.csv").expect("raw csv");
-    let findings = scan_for_identifiers(&String::from_utf8_lossy(&raw_csv[..2000.min(raw_csv.len())]));
+    let findings = scan_for_identifiers(&String::from_utf8_lossy(
+        &raw_csv[..2000.min(raw_csv.len())],
+    ));
     println!(
         "intake PHI audit on raw EHR (first 2 KB): {} findings, e.g. {:?}",
         findings.len(),
@@ -46,13 +48,20 @@ fn main() {
     let assessment = ReadinessAssessor::new()
         .assess(&run.manifest)
         .expect("valid manifest");
-    println!("\nreadiness: {} (anonymization verified)", assessment.overall);
+    println!(
+        "\nreadiness: {} (anonymization verified)",
+        assessment.overall
+    );
 
     // The at-rest blobs are ciphertext.
     for name in &run.shard_files {
         let enc = sink.read_file(name).expect("blob");
         let parse_fails = H5File::from_bytes(&enc).is_err();
-        println!("  {name}: {} bytes, parses-without-key: {}", enc.len(), !parse_fails);
+        println!(
+            "  {name}: {} bytes, parses-without-key: {}",
+            enc.len(),
+            !parse_fails
+        );
     }
 
     // Decrypt the training container with the operator secret.
@@ -62,10 +71,8 @@ fn main() {
     let salt = format!("{}::anon", cfg.secret);
     let train_count = (0..cfg.patients)
         .filter(|p| {
-            let pseudonym = drai::transform::anonymize::hash_identifier(
-                &salt,
-                &format!("patient-{p:04}"),
-            );
+            let pseudonym =
+                drai::transform::anonymize::hash_identifier(&salt, &format!("patient-{p:04}"));
             assign(&pseudonym, cfg.seed, cfg.fractions).unwrap() == Split::Train
         })
         .count();

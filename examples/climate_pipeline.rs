@@ -64,5 +64,25 @@ fn main() {
         let mean = t.mean().unwrap_or(0.0);
         println!("  {:<8} shape {:?} mean {:+.3}", e.name, t.shape(), mean);
     }
-    println!("\nartifacts under {}", workdir.display());
+
+    // Everything above was instrumented through the global telemetry
+    // registry; dump the interesting latency histograms and counters.
+    let snap = drai::telemetry::Registry::global().snapshot();
+    println!("\ntelemetry ({} spans recorded):", snap.spans.len());
+    for (name, h) in &snap.histograms {
+        println!(
+            "  {:<32} n={:<5} mean={:>9.1}us p99={:>9.1}us",
+            name,
+            h.count,
+            h.mean / 1e3,
+            h.p99 as f64 / 1e3
+        );
+    }
+    for (name, v) in &snap.counters {
+        println!("  {name:<32} {v}");
+    }
+    let telemetry_path = workdir.join("telemetry.json");
+    std::fs::write(&telemetry_path, snap.to_json()).expect("write telemetry");
+    println!("\nsnapshot written to {}", telemetry_path.display());
+    println!("artifacts under {}", workdir.display());
 }

@@ -24,7 +24,11 @@ fn main() {
 
     // Peek at the raw pathologies before the pipeline cleans them up.
     let store = ShotStore::generate(&cfg);
-    let disrupted = store.shots().iter().filter(|s| s.t_disrupt.is_some()).count();
+    let disrupted = store
+        .shots()
+        .iter()
+        .filter(|s| s.t_disrupt.is_some())
+        .count();
     let dead: usize = store
         .shots()
         .iter()

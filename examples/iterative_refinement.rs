@@ -37,26 +37,30 @@ fn main() {
     }
 
     let pipeline: Pipeline<WorkingSet> = Pipeline::builder("refine")
-        .stage("clean", ProcessingStage::Preprocess, |mut ws: WorkingSet, c| {
-            // Clip at the current sigma threshold.
-            let mean = ws.values.iter().sum::<f64>() / ws.values.len() as f64;
-            let var = ws
-                .values
-                .iter()
-                .map(|v| (v - mean) * (v - mean))
-                .sum::<f64>()
-                / ws.values.len() as f64;
-            let limit = mean + ws.clip_sigma * var.sqrt();
-            let mut clipped = 0;
-            for v in &mut ws.values {
-                if *v > limit {
-                    *v = limit;
-                    clipped += 1;
+        .stage(
+            "clean",
+            ProcessingStage::Preprocess,
+            |mut ws: WorkingSet, c| {
+                // Clip at the current sigma threshold.
+                let mean = ws.values.iter().sum::<f64>() / ws.values.len() as f64;
+                let var = ws
+                    .values
+                    .iter()
+                    .map(|v| (v - mean) * (v - mean))
+                    .sum::<f64>()
+                    / ws.values.len() as f64;
+                let limit = mean + ws.clip_sigma * var.sqrt();
+                let mut clipped = 0;
+                for v in &mut ws.values {
+                    if *v > limit {
+                        *v = limit;
+                        clipped += 1;
+                    }
                 }
-            }
-            c.records = clipped;
-            Ok(ws)
-        })
+                c.records = clipped;
+                Ok(ws)
+            },
+        )
         .build();
 
     let result = run_iterative(

@@ -45,14 +45,24 @@ fn main() {
     let meta = reader.metadata();
     let total_atoms: usize = meta
         .iter()
-        .map(|g| g.vars.iter().find(|(n, _, _)| n == "node_features").map(|(_, _, s)| s[0]).unwrap_or(0))
+        .map(|g| {
+            g.vars
+                .iter()
+                .find(|(n, _, _)| n == "node_features")
+                .map(|(_, _, s)| s[0])
+                .unwrap_or(0)
+        })
         .sum();
     println!("footer scan (no payload reads): {total_atoms} atoms total");
 
     let g = reader.read_group(0).expect("group 0");
     let nodes: Tensor<f32> = g.var("node_features").unwrap().to_tensor().expect("nodes");
     let edges: Tensor<i64> = g.var("edges").unwrap().to_tensor().expect("edges");
-    let energy: Tensor<f64> = g.var("energy_per_atom").unwrap().to_tensor().expect("energy");
+    let energy: Tensor<f64> = g
+        .var("energy_per_atom")
+        .unwrap()
+        .to_tensor()
+        .expect("energy");
     println!(
         "first graph: {} atoms, {} directed edges, normalized E/atom = {:+.3}",
         nodes.shape()[0],

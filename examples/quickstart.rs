@@ -48,9 +48,7 @@ fn main() {
 
     // Level 5: automate everything and actually shard the data.
     let sink = MemSink::new();
-    let records: Vec<Vec<u8>> = (0..1_000u32)
-        .map(|i| i.to_le_bytes().repeat(32))
-        .collect();
+    let records: Vec<Vec<u8>> = (0..1_000u32).map(|i| i.to_le_bytes().repeat(32)).collect();
     let shard_manifest = ShardWriter::new(ShardSpec::new("train", 16 * 1024), &sink)
         .write_all(&records)
         .expect("sharding in-memory records");
@@ -70,10 +68,14 @@ fn main() {
 
     // Pipelines carry per-stage metrics too.
     let pipeline: Pipeline<Vec<f64>> = Pipeline::builder("demo")
-        .stage("clean", ProcessingStage::Preprocess, |v: Vec<f64>, c: &mut StageCounters| {
-            c.records = v.len() as u64;
-            Ok(v.into_iter().filter(|x| x.is_finite()).collect())
-        })
+        .stage(
+            "clean",
+            ProcessingStage::Preprocess,
+            |v: Vec<f64>, c: &mut StageCounters| {
+                c.records = v.len() as u64;
+                Ok(v.into_iter().filter(|x| x.is_finite()).collect())
+            },
+        )
         .stage("normalize", ProcessingStage::Transform, |v: Vec<f64>, c| {
             c.records = v.len() as u64;
             let mean = v.iter().sum::<f64>() / v.len().max(1) as f64;
@@ -87,10 +89,7 @@ fn main() {
     for s in &run.stages {
         println!(
             "  {:<10} [{}] {} records in {:?}",
-            s.name,
-            s.kind,
-            s.throughput.records,
-            s.throughput.elapsed
+            s.name, s.kind, s.throughput.records, s.throughput.elapsed
         );
     }
 }

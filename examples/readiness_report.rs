@@ -109,7 +109,10 @@ fn main() {
     let a = assessor.assess(&crippled).expect("valid manifest");
     println!("  overall drops to: {}", a.overall);
     for d in &a.deficiencies {
-        println!("  blocked at {} / {}: {}", d.blocked_level, d.stage, d.reason);
+        println!(
+            "  blocked at {} / {}: {}",
+            d.blocked_level, d.stage, d.reason
+        );
     }
     assert_ne!(
         a.overall,

@@ -1,0 +1,342 @@
+//! Generator for strings matching a small regex subset: literals,
+//! escapes, `.`, character classes with ranges, groups, alternation,
+//! and the `?`, `*`, `+`, `{m}`, `{m,}`, `{m,n}` quantifiers.
+//! Unbounded repetition is capped at 8 extra iterations.
+
+use std::fmt;
+
+use crate::{Strategy, TestRng};
+
+const UNBOUNDED_EXTRA: u32 = 8;
+
+/// Parse/shape error for a regex strategy pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(String);
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// `.` — any printable ASCII.
+    Dot,
+    /// Character class: list of inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// Concatenation sequence.
+    Seq(Vec<Node>),
+    /// Alternation between branches.
+    Alt(Vec<Node>),
+    /// `node{min, max}`; `max == None` means unbounded (capped).
+    Repeat(Box<Node>, u32, Option<u32>),
+}
+
+/// A parsed pattern usable as a string [`Strategy`].
+#[derive(Debug, Clone)]
+pub struct Regex {
+    root: Node,
+}
+
+impl Regex {
+    /// Parse `pattern`, rejecting constructs outside the subset.
+    pub fn parse(pattern: &str) -> Result<Regex, RegexError> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let root = parse_alt(&chars, &mut pos)?;
+        if pos != chars.len() {
+            return Err(RegexError(format!(
+                "unexpected `{}` at offset {pos}",
+                chars[pos]
+            )));
+        }
+        Ok(Regex { root })
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Dot => out.push((0x20 + rng.below(0x5F) as u8) as char),
+            Node::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = (*hi as u64) - (*lo as u64) + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo));
+                        return;
+                    }
+                    pick -= span;
+                }
+            }
+            Node::Seq(nodes) => {
+                for n in nodes {
+                    Self::emit(n, rng, out);
+                }
+            }
+            Node::Alt(branches) => {
+                let i = rng.below(branches.len() as u64) as usize;
+                Self::emit(&branches[i], rng, out);
+            }
+            Node::Repeat(inner, min, max) => {
+                let hi = max.unwrap_or(min + UNBOUNDED_EXTRA);
+                let n = min + rng.below((hi - min + 1) as u64) as u32;
+                for _ in 0..n {
+                    Self::emit(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+impl Strategy for Regex {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        Self::emit(&self.root, rng, &mut out);
+        out
+    }
+}
+
+fn parse_alt(chars: &[char], pos: &mut usize) -> Result<Node, RegexError> {
+    let mut branches = vec![parse_seq(chars, pos)?];
+    while *pos < chars.len() && chars[*pos] == '|' {
+        *pos += 1;
+        branches.push(parse_seq(chars, pos)?);
+    }
+    if branches.len() == 1 {
+        Ok(branches.pop().unwrap())
+    } else {
+        Ok(Node::Alt(branches))
+    }
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize) -> Result<Node, RegexError> {
+    let mut nodes = Vec::new();
+    while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+        let atom = parse_atom(chars, pos)?;
+        nodes.push(parse_quantifier(chars, pos, atom)?);
+    }
+    Ok(Node::Seq(nodes))
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Node, RegexError> {
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            // Tolerate non-capturing group syntax.
+            if chars[*pos..].starts_with(&['?', ':']) {
+                *pos += 2;
+            }
+            let inner = parse_alt(chars, pos)?;
+            if *pos >= chars.len() || chars[*pos] != ')' {
+                return Err(RegexError("unclosed group".into()));
+            }
+            *pos += 1;
+            Ok(inner)
+        }
+        '[' => {
+            *pos += 1;
+            parse_class(chars, pos)
+        }
+        '.' => {
+            *pos += 1;
+            Ok(Node::Dot)
+        }
+        '\\' => {
+            *pos += 1;
+            if *pos >= chars.len() {
+                return Err(RegexError("dangling escape".into()));
+            }
+            let c = chars[*pos];
+            *pos += 1;
+            Ok(match c {
+                'd' => Node::Class(vec![('0', '9')]),
+                'w' => Node::Class(vec![('0', '9'), ('A', 'Z'), ('_', '_'), ('a', 'z')]),
+                's' => Node::Class(vec![(' ', ' '), ('\t', '\t')]),
+                'n' => Node::Literal('\n'),
+                't' => Node::Literal('\t'),
+                'r' => Node::Literal('\r'),
+                other => Node::Literal(other),
+            })
+        }
+        '*' | '+' | '?' | '{' => Err(RegexError(format!(
+            "quantifier `{}` with nothing to repeat",
+            chars[*pos]
+        ))),
+        c => {
+            *pos += 1;
+            Ok(Node::Literal(c))
+        }
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Result<Node, RegexError> {
+    if *pos < chars.len() && chars[*pos] == '^' {
+        return Err(RegexError("negated classes are not supported".into()));
+    }
+    let mut ranges = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let lo = class_char(chars, pos)?;
+        if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+            *pos += 1;
+            let hi = class_char(chars, pos)?;
+            if hi < lo {
+                return Err(RegexError(format!("inverted range `{lo}-{hi}`")));
+            }
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    if *pos >= chars.len() {
+        return Err(RegexError("unclosed character class".into()));
+    }
+    *pos += 1; // ']'
+    if ranges.is_empty() {
+        return Err(RegexError("empty character class".into()));
+    }
+    Ok(Node::Class(ranges))
+}
+
+fn class_char(chars: &[char], pos: &mut usize) -> Result<char, RegexError> {
+    let c = chars[*pos];
+    *pos += 1;
+    if c != '\\' {
+        return Ok(c);
+    }
+    if *pos >= chars.len() {
+        return Err(RegexError("dangling escape in class".into()));
+    }
+    let e = chars[*pos];
+    *pos += 1;
+    Ok(match e {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    })
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Result<Node, RegexError> {
+    if *pos >= chars.len() {
+        return Ok(atom);
+    }
+    let node = match chars[*pos] {
+        '?' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, Some(1))
+        }
+        '*' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, None)
+        }
+        '+' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 1, None)
+        }
+        '{' => {
+            *pos += 1;
+            let min = parse_number(chars, pos)?;
+            let max = if *pos < chars.len() && chars[*pos] == ',' {
+                *pos += 1;
+                if *pos < chars.len() && chars[*pos] == '}' {
+                    None
+                } else {
+                    Some(parse_number(chars, pos)?)
+                }
+            } else {
+                Some(min)
+            };
+            if *pos >= chars.len() || chars[*pos] != '}' {
+                return Err(RegexError("unclosed `{` quantifier".into()));
+            }
+            *pos += 1;
+            if let Some(m) = max {
+                if m < min {
+                    return Err(RegexError(format!("bad repetition {{{min},{m}}}")));
+                }
+            }
+            Node::Repeat(Box::new(atom), min, max)
+        }
+        _ => return Ok(atom),
+    };
+    Ok(node)
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> Result<u32, RegexError> {
+    let start = *pos;
+    while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(RegexError("expected number in `{}` quantifier".into()));
+    }
+    chars[start..*pos]
+        .iter()
+        .collect::<String>()
+        .parse()
+        .map_err(|_| RegexError("repetition count too large".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let re = Regex::parse(pattern).unwrap();
+        let mut rng = TestRng::new(99);
+        (0..n).map(|_| re.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn fixed_repetition() {
+        for s in gen_many("[0-9]{4}", 50) {
+            assert_eq!(s.len(), 4);
+            assert!(s.bytes().all(|b| b.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn alternation_and_literals() {
+        let out = gen_many("(cat|dog)-[a-f]{2}", 100);
+        assert!(out.iter().any(|s| s.starts_with("cat-")));
+        assert!(out.iter().any(|s| s.starts_with("dog-")));
+        for s in &out {
+            assert_eq!(s.len(), 6);
+        }
+    }
+
+    #[test]
+    fn star_is_capped() {
+        for s in gen_many("a*", 100) {
+            assert!(s.len() <= UNBOUNDED_EXTRA as usize);
+        }
+    }
+
+    #[test]
+    fn escapes_in_and_out_of_class() {
+        for s in gen_many(r"\d[\-x]\.", 50) {
+            let b: Vec<char> = s.chars().collect();
+            assert!(b[0].is_ascii_digit());
+            assert!(b[1] == '-' || b[1] == 'x');
+            assert_eq!(b[2], '.');
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(Regex::parse("[^a]").is_err());
+        assert!(Regex::parse("(unclosed").is_err());
+        assert!(Regex::parse("a{3,1}").is_err());
+        assert!(Regex::parse("*oops").is_err());
+    }
+}

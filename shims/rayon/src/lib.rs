@@ -1,0 +1,508 @@
+//! Offline shim for `rayon`: eager data-parallel iterators executed with
+//! `std::thread::scope`.
+//!
+//! Unlike rayon's lazy work-stealing iterators, [`ParIter`] materializes
+//! its items and applies each combinator eagerly, splitting the item
+//! vector into contiguous chunks across threads. This preserves rayon's
+//! semantics for the combinators the workspace uses (order-preserving
+//! `map`/`collect`, `enumerate`, `zip`, `for_each`, identity+op `reduce`)
+//! at the cost of intermediate allocations. Worker panics propagate to
+//! the caller, as in rayon.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Thread-count override installed by [`ThreadPool::install`]
+/// (0 = use available parallelism).
+static POOL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn current_threads() -> usize {
+    let n = POOL_THREADS.load(Ordering::Relaxed);
+    if n > 0 {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Apply `f` to every item, in parallel, preserving order.
+fn pexec<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let mut out = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    out
+}
+
+/// An eager "parallel iterator" over an item vector.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel order-preserving map.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync + Send>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: pexec(self.items, f),
+        }
+    }
+
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Zip with another parallel iterator (truncates to the shorter).
+    pub fn zip<U: Send>(self, other: impl IntoParallelIterator<Item = U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self
+                .items
+                .into_iter()
+                .zip(other.into_par_iter().items)
+                .collect(),
+        }
+    }
+
+    /// Keep items satisfying `pred`.
+    pub fn filter<F: Fn(&T) -> bool + Sync + Send>(self, pred: F) -> ParIter<T> {
+        ParIter {
+            items: self.items.into_iter().filter(|t| pred(t)).collect(),
+        }
+    }
+
+    /// Parallel filter-map.
+    pub fn filter_map<U: Send, F: Fn(T) -> Option<U> + Sync + Send>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: pexec(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel map followed by flattening.
+    pub fn flat_map<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U> + Send,
+        F: Fn(T) -> I + Sync + Send,
+    {
+        ParIter {
+            items: pexec(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    /// Run `f` on every item, in parallel.
+    pub fn for_each<F: Fn(T) + Sync + Send>(self, f: F) {
+        pexec(self.items, f);
+    }
+
+    /// Rayon-style reduce: fold each parallel chunk from `identity()`,
+    /// then combine the partials. `op` must be associative.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync + Send,
+        OP: Fn(T, T) -> T + Sync + Send,
+    {
+        let threads = current_threads().min(self.items.len().max(1));
+        if threads <= 1 || self.items.len() <= 1 {
+            return self.items.into_iter().fold(identity(), &op);
+        }
+        let chunk_len = self.items.len().div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut items = self.items.into_iter();
+        loop {
+            let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let (identity, op) = (&identity, &op);
+        let mut partials = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().fold(identity(), op)))
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => partials.push(part),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+        partials.into_iter().fold(identity(), op)
+    }
+
+    /// Collect into any `FromIterator` container (order preserved).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Maximum item.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    /// Minimum item.
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().min()
+    }
+}
+
+/// Owned conversion into a [`ParIter`].
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+macro_rules! impl_into_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_into_par_range!(usize, u32, u64, i32, i64);
+
+/// `par_iter()` over shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type.
+    type Item: Send + 'a;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter_mut()` over exclusive references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type.
+    type Item: Send + 'a;
+    /// Borrowing conversion.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// Chunked slice views (`par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    /// Split into `chunk_size` pieces (last may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(chunk_size.max(1)).collect(),
+        }
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(a);
+        let rb = b();
+        match ha.join() {
+            Ok(ra) => (ra, rb),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    })
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the pool size (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "pool": in this shim, a scoped thread-count override applied while
+/// [`ThreadPool::install`] runs a closure.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count governing parallel execution.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.swap(self.num_threads, Ordering::Relaxed);
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.store(self.0, Ordering::Relaxed);
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+/// The rayon prelude: every trait needed for `par_iter` etc.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_over_range_and_vec() {
+        let a: Vec<usize> = (0usize..100).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(a[0], 1);
+        assert_eq!(a[99], 100);
+        let b: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|x| x.to_string())
+            .collect();
+        assert_eq!(b, vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_value() {
+        let v: Vec<i32> = (0..100).collect();
+        let ok: Result<Vec<i32>, String> = v.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<i32>, String> = v
+            .par_iter()
+            .map(|&x| {
+                if x == 13 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let v: Vec<u64> = (1..=1000).collect();
+        let sum = v.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 500_500);
+        let empty: Vec<u64> = vec![];
+        assert_eq!(empty.par_iter().map(|&x| x).reduce(|| 7, |a, b| a + b), 7);
+    }
+
+    #[test]
+    fn par_iter_mut_and_zip() {
+        let mut v = vec![0u64; 64];
+        let adds: Vec<u64> = (0..64).collect();
+        v.par_iter_mut()
+            .zip(adds.par_iter())
+            .for_each(|(slot, &a)| *slot = a * 3);
+        assert_eq!(v[10], 30);
+    }
+
+    #[test]
+    fn par_chunks_covers_all() {
+        let data: Vec<u8> = (0..=255).collect();
+        let total: usize = data.par_chunks(7).map(|c| c.len()).sum();
+        assert_eq!(total, 256);
+    }
+
+    #[test]
+    fn panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let v: Vec<i32> = (0..100).collect();
+            let _: Vec<i32> = v
+                .par_iter()
+                .map(|&x| {
+                    if x == 57 {
+                        panic!("bad item");
+                    }
+                    x
+                })
+                .collect();
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_install_limits_threads() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let out: Vec<usize> = pool.install(|| (0usize..50).into_par_iter().map(|x| x).collect());
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = crate::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn actually_parallel() {
+        // 8 sleeps of 40ms across >=4 threads should take well under 320ms.
+        if crate::current_threads() < 4 {
+            return; // single-core CI box: nothing to assert
+        }
+        let start = std::time::Instant::now();
+        let v: Vec<u32> = (0..8).collect();
+        let _: Vec<u32> = v
+            .par_iter()
+            .map(|&x| {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+                x
+            })
+            .collect();
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(300),
+            "took {:?}",
+            start.elapsed()
+        );
+    }
+}

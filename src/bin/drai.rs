@@ -131,7 +131,11 @@ fn cmd_run(args: &[String], emit_card: bool) -> ExitCode {
         }
     };
     println!("readiness: {}", assessment.overall);
-    println!("shards: {} files, provenance: {} events", run.shard_files.len(), run.ledger.len());
+    println!(
+        "shards: {} files, provenance: {} events",
+        run.shard_files.len(),
+        run.ledger.len()
+    );
 
     // Persist the manifest + audit log next to the data.
     let manifest_json = run.manifest.to_json().to_string_compact();
@@ -207,7 +211,10 @@ fn cmd_assess(args: &[String]) -> ExitCode {
                 println!("  {:<11} {}", stage.label(), level);
             }
             for d in &a.deficiencies {
-                println!("  blocked at {} / {}: {}", d.blocked_level, d.stage, d.reason);
+                println!(
+                    "  blocked at {} / {}: {}",
+                    d.blocked_level, d.stage, d.reason
+                );
             }
             ExitCode::SUCCESS
         }

@@ -4,8 +4,8 @@
 //! framework (`core`), the numeric substrate (`tensor`), scientific
 //! container formats (`formats`), the parallel shard/I-O engine (`io`),
 //! preprocessing kernels (`transform`), provenance capture (`provenance`),
-//! the simulated parallel filesystem (`sim`), and the four domain
-//! archetypes (`domains`).
+//! the simulated parallel filesystem (`sim`), runtime metrics
+//! (`telemetry`), and the four domain archetypes (`domains`).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and experiment index.
@@ -28,5 +28,6 @@ pub use drai_formats as formats;
 pub use drai_io as io;
 pub use drai_provenance as provenance;
 pub use drai_sim as sim;
+pub use drai_telemetry as telemetry;
 pub use drai_tensor as tensor;
 pub use drai_transform as transform;

@@ -41,13 +41,12 @@ fn templates_validate_real_domain_pipelines() {
         "fusion pipeline violates its template"
     );
 
-    let materials_p = materials::build_pipeline(
-        &materials::MaterialsConfig::default(),
-        sink,
-        ledger,
-    );
+    let materials_p =
+        materials::build_pipeline(&materials::MaterialsConfig::default(), sink, ledger);
     assert!(
-        DomainTemplate::materials().validate(&materials_p).is_empty(),
+        DomainTemplate::materials()
+            .validate(&materials_p)
+            .is_empty(),
         "materials pipeline violates its template"
     );
 }

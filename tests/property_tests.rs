@@ -8,6 +8,7 @@ use drai::formats::zip::{read_zip, write_zip, ZipEntry};
 use drai::io::codec::{codec_for, CodecId};
 use drai::io::crypto::{chacha20_xor, derive_key};
 use drai::io::json::Json;
+use drai::io::parallel::{chunk_slices, prefetch_map};
 use drai::io::varint::{read_ivarint, read_uvarint, write_ivarint, write_uvarint};
 use drai::tensor::stats::Welford;
 use drai::tensor::{LatLonGrid, Tensor};
@@ -221,5 +222,81 @@ proptest! {
         let back = NcFile::from_bytes(&f.to_bytes().unwrap()).unwrap();
         // Bitwise equality via byte serialization (NaN-safe).
         prop_assert_eq!(back.to_bytes().unwrap(), f.to_bytes().unwrap());
+    }
+}
+
+// Stress/property coverage for the parallel prefetch machinery: order
+// preservation must hold for every (workers, queue_cap, item-count)
+// combination, and chunking offsets must tile the input exactly even
+// when the length is not divisible by the chunk count.
+proptest! {
+    #[test]
+    fn prefetch_map_preserves_order(
+        workers in 1usize..8, queue_cap in 1usize..8, n in 0usize..200) {
+        let items: Vec<u64> = (0..n as u64).collect();
+        let out: Vec<u64> = prefetch_map(items.clone(), workers, queue_cap, |x| {
+            // Jitter completion order so in-order delivery is earned by
+            // the reorder buffer, not by accident of scheduling.
+            std::thread::sleep(std::time::Duration::from_micros((x * 29) % 120));
+            x.wrapping_mul(3) ^ 7
+        })
+        .collect();
+        let expect: Vec<u64> = items.iter().map(|x| x.wrapping_mul(3) ^ 7).collect();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn chunk_slices_offsets_tile_input(len in 0usize..500, chunks in 1usize..17) {
+        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let parts = chunk_slices(&data, chunks);
+        if data.is_empty() {
+            prop_assert!(parts.is_empty());
+            return Ok(());
+        }
+        prop_assert!(!parts.is_empty() && parts.len() <= chunks);
+        let size = data.len().div_ceil(chunks);
+        for (i, (offset, slice)) in parts.iter().enumerate() {
+            prop_assert_eq!(*offset, i * size);
+            if i + 1 < parts.len() {
+                // Every piece but the last is exactly `size` bytes.
+                prop_assert_eq!(slice.len(), size);
+            } else {
+                prop_assert!(!slice.is_empty() && slice.len() <= size);
+            }
+        }
+        let rebuilt: Vec<u8> = parts.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+        prop_assert_eq!(rebuilt, data);
+    }
+}
+
+#[test]
+fn prefetch_map_panic_in_last_item_propagates() {
+    for workers in [1usize, 2, 4] {
+        let n = 37u64;
+        // Worker threads hold clones of this sentinel via the closure;
+        // once the panic has propagated every clone must be gone, i.e.
+        // all threads were joined rather than left running detached.
+        let alive = std::sync::Arc::new(());
+        let sentinel = alive.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _hold = sentinel;
+            let items: Vec<u64> = (0..n).collect();
+            prefetch_map(items, workers, 2, move |x| {
+                if x == n - 1 {
+                    panic!("injected failure on final item {x}");
+                }
+                x * 2
+            })
+            .collect::<Vec<_>>()
+        }));
+        assert!(
+            result.is_err(),
+            "panic with {workers} workers did not propagate"
+        );
+        assert_eq!(
+            std::sync::Arc::strong_count(&alive),
+            1,
+            "worker threads not joined after panic ({workers} workers)"
+        );
     }
 }
