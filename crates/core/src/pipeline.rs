@@ -111,6 +111,55 @@ impl<T> PipelineBuilder<T> {
     }
 }
 
+impl<T: Clone + 'static> PipelineBuilder<T> {
+    /// Add a stage that is re-attempted up to `max_attempts` times when
+    /// its function fails — the pipeline-level counterpart of the I/O
+    /// layer's `RetrySink`, for stages that talk to flaky storage or
+    /// services. The input is cloned per attempt (hence `T: Clone`),
+    /// counters reflect only the successful attempt, and the run aborts
+    /// with the *last* error once attempts are exhausted. Retries are
+    /// immediate (no sleeping): stage work dominates any sensible
+    /// backoff, and determinism matters more here than politeness.
+    ///
+    /// Telemetry: each re-attempt increments
+    /// `pipeline.<pipeline>.<stage>.retries`.
+    pub fn retry_stage(
+        mut self,
+        name: &str,
+        kind: ProcessingStage,
+        max_attempts: u32,
+        func: impl Fn(T, &mut StageCounters) -> Result<T, String> + Send + Sync + 'static,
+    ) -> Self {
+        assert!(max_attempts >= 1, "need at least one attempt");
+        let retry_metric = format!("pipeline.{}.{}.retries", self.name, name);
+        let wrapped = move |input: T, counters: &mut StageCounters| {
+            let mut last_err = String::new();
+            for attempt in 0..max_attempts {
+                let mut local = StageCounters::default();
+                match func(input.clone(), &mut local) {
+                    Ok(out) => {
+                        *counters = local;
+                        return Ok(out);
+                    }
+                    Err(e) => {
+                        last_err = e;
+                        if attempt + 1 < max_attempts {
+                            Registry::global().counter(&retry_metric).incr();
+                        }
+                    }
+                }
+            }
+            Err(format!("exhausted {max_attempts} attempts: {last_err}"))
+        };
+        self.stages.push(StageDef {
+            name: name.to_string(),
+            kind,
+            func: Arc::new(wrapped),
+        });
+        self
+    }
+}
+
 /// An ordered sequence of named stages over artifact type `T`.
 ///
 /// `T` is whatever the domain moves between stages — a tensor bundle, a
@@ -486,6 +535,50 @@ mod tests {
         assert!(snap.spans_named("pipeline.telem-batch.inc").is_empty());
         assert_eq!(snap.counters["pipeline.telem-batch.inc.records"], 16);
         assert_eq!(snap.histograms["pipeline.telem-batch.inc.ns"].count, 1);
+    }
+
+    #[test]
+    fn retry_stage_recovers_from_transient_failures() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let flaky_calls = Arc::new(AtomicU32::new(0));
+        let calls = flaky_calls.clone();
+        let p: Pipeline<Vec<f64>> = Pipeline::builder("retry-unit")
+            .retry_stage("flaky", S::Transform, 4, move |v: Vec<f64>, c| {
+                // Fail the first two attempts, then succeed.
+                if calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err("transient".into())
+                } else {
+                    c.records = v.len() as u64;
+                    Ok(v.into_iter().map(|x| x + 1.0).collect())
+                }
+            })
+            .build();
+        let run = p.run(vec![1.0, 2.0]).unwrap();
+        assert_eq!(run.output, vec![2.0, 3.0]);
+        assert_eq!(flaky_calls.load(Ordering::SeqCst), 3);
+        // Counters reflect the successful attempt only.
+        assert_eq!(run.stage("flaky").unwrap().throughput.records, 2);
+        let snap = drai_telemetry::Registry::global().snapshot();
+        assert_eq!(snap.counters["pipeline.retry-unit.flaky.retries"], 2);
+    }
+
+    #[test]
+    fn retry_stage_exhaustion_reports_last_error() {
+        let p: Pipeline<i32> = Pipeline::builder("retry-fail")
+            .retry_stage("doomed", S::Transform, 3, |_, _| {
+                Err("still broken".to_string())
+            })
+            .build();
+        match p.run(1) {
+            Err(CoreError::Stage { stage, message }) => {
+                assert_eq!(stage, "doomed");
+                assert!(
+                    message.contains("3 attempts") && message.contains("still broken"),
+                    "{message}"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -24,21 +24,31 @@
 //! * [`sink`] — the [`sink::StorageSink`] abstraction over "where bytes
 //!   land": a real local filesystem or the simulated striped store in
 //!   `drai-sim`.
+//! * [`fault`] — seeded, deterministic fault injection ([`FaultSink`]):
+//!   transient/permanent write errors, read errors, and silent bit
+//!   flips, for exercising the recovery paths.
+//! * [`retry`] — [`RetrySink`] with exponential, jitter-free backoff
+//!   through an injectable clock, so resilience tests never really
+//!   sleep.
 //! * [`parallel`] — double-buffered prefetching readers and chunked
 //!   parallel writers built on crossbeam channels.
 
 pub mod checksum;
 pub mod codec;
 pub mod crypto;
+pub mod fault;
 pub mod json;
 pub mod parallel;
+pub mod retry;
 pub mod shard;
 pub mod sink;
 pub mod varint;
 
 pub use checksum::{content_hash128, crc32, crc32c, fnv1a64, masked_crc32c};
 pub use codec::{Codec, CodecError, CodecId};
-pub use shard::{ShardManifest, ShardReader, ShardSpec, ShardWriter};
+pub use fault::{FaultConfig, FaultSink};
+pub use retry::{RetryClock, RetryPolicy, RetrySink, SystemClock, VirtualClock};
+pub use shard::{DamageReport, ShardManifest, ShardReader, ShardSpec, ShardWriter};
 pub use sink::{LocalFs, StorageSink};
 
 /// Errors produced by the I/O layer.
@@ -76,6 +86,27 @@ impl std::error::Error for IoError {
             IoError::Os(e) => Some(e),
             IoError::Codec(e) => Some(e),
             _ => None,
+        }
+    }
+}
+
+impl IoError {
+    /// True when retrying the failed operation may succeed: OS errors
+    /// whose kind signals a momentary condition (interruption, timeout,
+    /// contention). Checksum mismatches, format errors, and codec
+    /// failures are permanent — the bytes are wrong, not the timing —
+    /// and [`retry::RetrySink`] passes them straight through.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            IoError::Os(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+            ),
+            _ => false,
         }
     }
 }

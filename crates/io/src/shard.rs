@@ -47,21 +47,38 @@ pub struct ShardSpec {
     pub target_shard_bytes: usize,
     /// Codec applied to each record payload.
     pub codec: CodecId,
+    /// Read each shard back after writing and compare its CRC-32C with
+    /// the just-computed digest, rewriting (up to [`VERIFY_REWRITES`]
+    /// times) on mismatch. Catches silent corruption between the write
+    /// path and stable storage at the cost of one extra read per shard.
+    pub verify_writes: bool,
 }
 
+/// Rewrite attempts per shard when [`ShardSpec::verify_writes`] detects
+/// a mismatch before giving up with a checksum error.
+pub const VERIFY_REWRITES: u32 = 3;
+
 impl ShardSpec {
-    /// Spec with the raw codec and a given target size.
+    /// Spec with the raw codec, no write verification, and a given
+    /// target size.
     pub fn new(prefix: impl Into<String>, target_shard_bytes: usize) -> Self {
         ShardSpec {
             prefix: prefix.into(),
             target_shard_bytes: target_shard_bytes.max(1),
             codec: CodecId::Raw,
+            verify_writes: false,
         }
     }
 
     /// Builder-style codec override.
     pub fn with_codec(mut self, codec: CodecId) -> Self {
         self.codec = codec;
+        self
+    }
+
+    /// Builder-style verify-after-write toggle.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify_writes = verify;
         self
     }
 
@@ -280,12 +297,16 @@ impl<'a> ShardWriter<'a> {
                     buf.extend_from_slice(rec);
                 }
                 let name = spec.shard_name(idx);
+                let digest = crc32c(&buf);
                 sink.write_file(&name, &buf)?;
+                if spec.verify_writes {
+                    verify_written(sink, &name, digest, &buf)?;
+                }
                 Ok(ShardInfo {
                     name,
                     records: (e - s) as u64,
                     bytes: buf.len() as u64,
-                    crc32c: crc32c(&buf),
+                    crc32c: digest,
                 })
             })
             .collect();
@@ -311,13 +332,102 @@ impl<'a> ShardWriter<'a> {
             payload_bytes,
             shards,
         };
-        self.sink.write_file(
-            &self.spec.manifest_name(),
-            manifest.to_json().to_string_compact().as_bytes(),
-        )?;
+        let manifest_name = self.spec.manifest_name();
+        let manifest_bytes = manifest.to_json().to_string_compact().into_bytes();
+        self.sink.write_file(&manifest_name, &manifest_bytes)?;
+        if self.spec.verify_writes {
+            // The manifest is the root of trust for every later read —
+            // silent corruption here quarantines *every* shard, so it
+            // gets the same read-back verification as the shards.
+            verify_written(
+                self.sink,
+                &manifest_name,
+                crc32c(&manifest_bytes),
+                &manifest_bytes,
+            )?;
+        }
         Ok(manifest)
     }
 }
+
+/// Read a just-written shard back and compare digests, rewriting on
+/// mismatch (or on read failure — the blob may not have landed at all).
+///
+/// Telemetry: `io.shard.verify_rewrites` counts rewrites issued; the
+/// final failure (digest still wrong after [`VERIFY_REWRITES`] rewrites)
+/// surfaces as a [`IoError::ChecksumMismatch`].
+fn verify_written(
+    sink: &dyn StorageSink,
+    name: &str,
+    digest: u32,
+    buf: &[u8],
+) -> Result<(), IoError> {
+    let registry = Registry::global();
+    for attempt in 0..=VERIFY_REWRITES {
+        let ok = match sink.read_file(name) {
+            Ok(back) => crc32c(&back) == digest,
+            Err(_) => false,
+        };
+        if ok {
+            return Ok(());
+        }
+        if attempt < VERIFY_REWRITES {
+            registry.counter("io.shard.verify_rewrites").incr();
+            sink.write_file(name, buf)?;
+        }
+    }
+    Err(IoError::ChecksumMismatch {
+        context: format!("verify-after-write of {name} ({VERIFY_REWRITES} rewrites exhausted)"),
+    })
+}
+
+/// One shard the recovering reader could not fully restore.
+#[derive(Debug, Clone)]
+pub struct DamagedShard {
+    /// Index into the manifest's shard list.
+    pub index: usize,
+    /// Blob name within the sink.
+    pub name: String,
+    /// Records the manifest declared for this shard.
+    pub records_declared: u64,
+    /// CRC-valid records salvaged from the intact prefix.
+    pub records_recovered: u64,
+    /// Human-readable cause (read failure, file CRC, record CRC, ...).
+    pub reason: String,
+}
+
+/// Outcome of [`ShardReader::read_all_recovering`]: which shards were
+/// quarantined and how many records could not be restored.
+#[derive(Debug, Clone, Default)]
+pub struct DamageReport {
+    /// Quarantined shards, in manifest order.
+    pub damaged: Vec<DamagedShard>,
+    /// Total records declared by the manifest but not recovered.
+    pub records_lost: u64,
+}
+
+impl DamageReport {
+    /// True when every shard was read back intact.
+    pub fn is_clean(&self) -> bool {
+        self.damaged.is_empty() && self.records_lost == 0
+    }
+}
+
+/// Records plus damage summary from a recovering read.
+#[derive(Debug, Clone)]
+pub struct RecoveredRead {
+    /// All records restored, in manifest order (damaged shards
+    /// contribute their salvageable prefix).
+    pub records: Vec<Vec<u8>>,
+    /// What was quarantined.
+    pub damage: DamageReport,
+}
+
+/// Cap on `Vec::with_capacity` hints derived from untrusted manifest
+/// counts: a corrupt manifest declaring `u64::MAX` records must not
+/// trigger a giant up-front allocation before any CRC has been checked.
+/// Reads beyond the clamp simply grow the vector normally.
+const MAX_PREALLOC_RECORDS: usize = 1 << 16;
 
 /// Reads records back from a shard run, verifying CRCs.
 pub struct ShardReader<'a> {
@@ -360,52 +470,155 @@ impl<'a> ShardReader<'a> {
 
     /// Iterate all records across shards in order (fully materialized;
     /// use [`crate::parallel::prefetch_map`] for streaming pipelines).
+    /// The capacity hint from the (untrusted) manifest is clamped so a
+    /// corrupt record count cannot force a giant allocation before the
+    /// per-shard CRC checks run.
     pub fn read_all(&self) -> Result<Vec<Vec<u8>>, IoError> {
-        let mut out = Vec::with_capacity(self.manifest.total_records as usize);
+        let mut out =
+            Vec::with_capacity((self.manifest.total_records as usize).min(MAX_PREALLOC_RECORDS));
         for i in 0..self.manifest.shards.len() {
             out.extend(self.read_shard(i)?);
         }
         Ok(out)
     }
+
+    /// Like [`read_all`](Self::read_all), but quarantine damaged shards
+    /// into a [`DamageReport`] instead of aborting the whole read.
+    ///
+    /// Per shard: a read failure quarantines the shard with zero records
+    /// recovered; a parse/CRC failure salvages the CRC-valid record
+    /// prefix before the first corruption; a whole-file CRC mismatch
+    /// whose records all still verify individually recovers everything
+    /// but is reported (the corruption sits in framing padding). Shards
+    /// recovering fewer records than the manifest declares contribute
+    /// the difference to `records_lost`.
+    ///
+    /// Telemetry: `io.shard.quarantined` counts quarantined shards and
+    /// `io.shard.records_lost` the unrecovered records.
+    pub fn read_all_recovering(&self) -> RecoveredRead {
+        let registry = Registry::global();
+        let mut records =
+            Vec::with_capacity((self.manifest.total_records as usize).min(MAX_PREALLOC_RECORDS));
+        let mut damage = DamageReport::default();
+        for (index, info) in self.manifest.shards.iter().enumerate() {
+            let mut quarantine = |recovered: Vec<Vec<u8>>, reason: String| {
+                let lost = info.records.saturating_sub(recovered.len() as u64);
+                damage.records_lost += lost;
+                damage.damaged.push(DamagedShard {
+                    index,
+                    name: info.name.clone(),
+                    records_declared: info.records,
+                    records_recovered: recovered.len() as u64,
+                    reason,
+                });
+                recovered
+            };
+            match self.sink.read_file(&info.name) {
+                Err(e) => {
+                    records.extend(quarantine(Vec::new(), format!("read failed: {e}")));
+                }
+                Ok(data) => {
+                    let file_ok = crc32c(&data) == info.crc32c;
+                    let (recs, err) = parse_shard_partial(&data, &info.name, self.manifest.codec);
+                    let complete = err.is_none() && recs.len() as u64 == info.records;
+                    if file_ok && complete {
+                        records.extend(recs);
+                    } else {
+                        let reason = match err {
+                            Some(e) => e.to_string(),
+                            None if !file_ok => "shard file CRC mismatch".to_string(),
+                            None => format!(
+                                "record count mismatch (manifest {}, parsed {})",
+                                info.records,
+                                recs.len()
+                            ),
+                        };
+                        records.extend(quarantine(recs, reason));
+                    }
+                }
+            }
+        }
+        registry
+            .counter("io.shard.quarantined")
+            .add(damage.damaged.len() as u64);
+        registry
+            .counter("io.shard.records_lost")
+            .add(damage.records_lost);
+        RecoveredRead { records, damage }
+    }
 }
 
 /// Parse one shard file body (exposed for the failure-injection tests).
 pub fn parse_shard(data: &[u8], name: &str, codec_id: CodecId) -> Result<Vec<Vec<u8>>, IoError> {
-    if data.len() < 12 || &data[..8] != SHARD_MAGIC {
-        return Err(IoError::Format(format!("{name}: bad shard magic")));
+    let (records, err) = parse_shard_partial(data, name, codec_id);
+    match err {
+        None => Ok(records),
+        Some(e) => Err(e),
     }
-    let tag = data[8];
-    let file_codec = CodecId::from_tag(tag)?;
+}
+
+/// Parse as many CRC-valid records as possible from a shard body,
+/// stopping at the first structural or checksum failure. Returns the
+/// salvaged prefix and the error that stopped the parse, if any — the
+/// recovering reader's salvage primitive. Framing after the first bad
+/// record is untrustworthy (record lengths chain the offsets), so
+/// salvage never skips past a failure.
+pub fn parse_shard_partial(
+    data: &[u8],
+    name: &str,
+    codec_id: CodecId,
+) -> (Vec<Vec<u8>>, Option<IoError>) {
+    if data.len() < 12 || &data[..8] != SHARD_MAGIC {
+        return (
+            Vec::new(),
+            Some(IoError::Format(format!("{name}: bad shard magic"))),
+        );
+    }
+    let file_codec = match CodecId::from_tag(data[8]) {
+        Ok(c) => c,
+        Err(e) => return (Vec::new(), Some(e.into())),
+    };
     if file_codec != codec_id {
-        return Err(IoError::Format(format!(
-            "{name}: codec mismatch (file={}, manifest={})",
-            file_codec.name(),
-            codec_id.name()
-        )));
+        return (
+            Vec::new(),
+            Some(IoError::Format(format!(
+                "{name}: codec mismatch (file={}, manifest={})",
+                file_codec.name(),
+                codec_id.name()
+            ))),
+        );
     }
     let codec = codec_for(codec_id);
     let mut out = Vec::new();
     let mut pos = 12;
     while pos < data.len() {
         if pos + RECORD_HEADER > data.len() {
-            return Err(IoError::Format(format!("{name}: truncated record header")));
+            return (
+                out,
+                Some(IoError::Format(format!("{name}: truncated record header"))),
+            );
         }
         let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
         let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
         pos += RECORD_HEADER;
-        if pos + len > data.len() {
-            return Err(IoError::Format(format!("{name}: truncated record payload")));
+        if len > data.len() - pos {
+            return (
+                out,
+                Some(IoError::Format(format!("{name}: truncated record payload"))),
+            );
         }
         let stored = &data[pos..pos + len];
         if masked_crc32c(stored) != crc {
-            return Err(IoError::ChecksumMismatch {
-                context: format!("{name} record {}", out.len()),
-            });
+            let context = format!("{name} record {}", out.len());
+            return (out, Some(IoError::ChecksumMismatch { context }));
         }
-        out.push(codec.decode(stored)?);
+        match codec.decode(stored) {
+            Ok(decoded) => out.push(decoded),
+            Err(e) => return (out, Some(e.into())),
+        }
         pos += len;
     }
-    Ok(out)
+    (out, None)
 }
 
 #[cfg(test)]
@@ -553,6 +766,157 @@ mod tests {
     fn bad_magic_rejected() {
         let err = parse_shard(b"NOTASHARDFILE", "x", CodecId::Raw).unwrap_err();
         assert!(matches!(err, IoError::Format(_)));
+    }
+
+    #[test]
+    fn recovering_reader_quarantines_corrupt_shard() {
+        let sink = MemSink::new();
+        let recs = records(30, 500);
+        let manifest = ShardWriter::new(ShardSpec::new("rec", 4000), &sink)
+            .write_all(&recs)
+            .unwrap();
+        assert!(manifest.shards.len() >= 3, "want multiple shards");
+        // Corrupt a mid-payload byte of the middle shard.
+        let victim = &manifest.shards[1];
+        let mut data = sink.read_file(&victim.name).unwrap();
+        let n = data.len();
+        data[n - 10] ^= 0x40;
+        sink.write_file(&victim.name, &data).unwrap();
+
+        let reader = ShardReader::open("rec", &sink).unwrap();
+        assert!(reader.read_all().is_err(), "strict read must abort");
+        let recovered = reader.read_all_recovering();
+        assert_eq!(recovered.damage.damaged.len(), 1);
+        let d = &recovered.damage.damaged[0];
+        assert_eq!(d.index, 1);
+        assert_eq!(d.name, victim.name);
+        assert!(d.records_recovered < d.records_declared);
+        assert_eq!(
+            recovered.damage.records_lost,
+            d.records_declared - d.records_recovered
+        );
+        assert_eq!(
+            recovered.records.len() as u64,
+            manifest.total_records - recovered.damage.records_lost
+        );
+        // Undamaged shards contribute their exact records; the salvaged
+        // prefix of the damaged shard matches the original order.
+        assert_eq!(
+            &recovered.records[..manifest.shards[0].records as usize],
+            &recs[..manifest.shards[0].records as usize]
+        );
+        assert!(!recovered.damage.is_clean());
+    }
+
+    #[test]
+    fn recovering_reader_clean_on_intact_data() {
+        let sink = MemSink::new();
+        let recs = records(20, 300);
+        ShardWriter::new(ShardSpec::new("clean", 2000), &sink)
+            .write_all(&recs)
+            .unwrap();
+        let reader = ShardReader::open("clean", &sink).unwrap();
+        let recovered = reader.read_all_recovering();
+        assert!(recovered.damage.is_clean());
+        assert_eq!(recovered.records, recs);
+    }
+
+    #[test]
+    fn recovering_reader_survives_missing_shard() {
+        let sink = MemSink::new();
+        let recs = records(20, 500);
+        let manifest = ShardWriter::new(ShardSpec::new("gone", 3000), &sink)
+            .write_all(&recs)
+            .unwrap();
+        sink.delete(&manifest.shards[0].name).unwrap();
+        let reader = ShardReader::open("gone", &sink).unwrap();
+        let recovered = reader.read_all_recovering();
+        assert_eq!(recovered.damage.damaged.len(), 1);
+        assert_eq!(recovered.damage.damaged[0].records_recovered, 0);
+        assert_eq!(
+            recovered.records.len() as u64,
+            manifest.total_records - manifest.shards[0].records
+        );
+    }
+
+    #[test]
+    fn verify_after_write_round_trips() {
+        let sink = MemSink::new();
+        let recs = records(10, 200);
+        let spec = ShardSpec::new("vfy", 1 << 20).with_verify(true);
+        assert!(spec.verify_writes);
+        let manifest = ShardWriter::new(spec, &sink).write_all(&recs).unwrap();
+        assert_eq!(manifest.total_records, 10);
+        let reader = ShardReader::open("vfy", &sink).unwrap();
+        assert_eq!(reader.read_all().unwrap(), recs);
+    }
+
+    #[test]
+    fn verify_after_write_rewrites_corrupted_shard() {
+        use crate::fault::{FaultConfig, FaultSink};
+        // Writes sometimes store a bit-flipped copy; the deterministic
+        // rolls differ per attempt, so the rewrite loop lands a clean
+        // copy (p(fail) = 0.2^4 per shard with 3 rewrites).
+        let cfg = FaultConfig {
+            seed: 21,
+            corrupt: 0.2,
+            ..FaultConfig::default()
+        };
+        let sink = FaultSink::new(MemSink::new(), cfg);
+        let recs = records(40, 400);
+        let manifest = ShardWriter::new(ShardSpec::new("vw", 2000).with_verify(true), &sink)
+            .write_all(&recs)
+            .unwrap();
+        assert!(manifest.shards.len() > 1);
+        let reader = ShardReader::open("vw", sink.inner()).unwrap();
+        let recovered = reader.read_all_recovering();
+        assert!(recovered.damage.is_clean(), "{:?}", recovered.damage);
+        assert_eq!(recovered.records, recs);
+    }
+
+    #[test]
+    fn huge_manifest_count_does_not_preallocate() {
+        let sink = MemSink::new();
+        ShardWriter::new(ShardSpec::new("huge", 1000), &sink)
+            .write_all(records(3, 50))
+            .unwrap();
+        // Forge a manifest declaring an absurd record count.
+        // 2^53 - 1: the largest count exactly representable in the JSON
+        // number model, still an absurd ~72 PiB preallocation if trusted.
+        const HUGE: u64 = (1 << 53) - 1;
+        let raw = sink.read_file("huge.manifest.json").unwrap();
+        let text = std::str::from_utf8(&raw)
+            .unwrap()
+            .replace("\"total_records\":3", &format!("\"total_records\":{HUGE}"));
+        assert_ne!(text.as_bytes(), raw.as_slice(), "replacement must hit");
+        sink.write_file("huge.manifest.json", text.as_bytes())
+            .unwrap();
+        let reader = ShardReader::open("huge", &sink).unwrap();
+        assert_eq!(reader.manifest().total_records, HUGE);
+        // Must not abort on allocation; the count mismatch surfaces as
+        // data, not as an OOM.
+        let out = reader.read_all().unwrap();
+        assert_eq!(out.len(), 3);
+        let recovered = reader.read_all_recovering();
+        assert_eq!(recovered.records.len(), 3);
+    }
+
+    #[test]
+    fn partial_parse_salvages_prefix() {
+        let sink = MemSink::new();
+        let recs = records(8, 100);
+        ShardWriter::new(ShardSpec::new("pp", 1 << 20), &sink)
+            .write_all(&recs)
+            .unwrap();
+        let mut data = sink.read_file("pp-00000.shard").unwrap();
+        // Corrupt record 5's payload: header is 12 bytes, each record
+        // 8 + 100 bytes.
+        let off = 12 + 5 * 108 + 8 + 50;
+        data[off] ^= 0x01;
+        let (salvaged, err) = parse_shard_partial(&data, "pp", CodecId::Raw);
+        assert_eq!(salvaged.len(), 5);
+        assert_eq!(salvaged, recs[..5]);
+        assert!(matches!(err, Some(IoError::ChecksumMismatch { .. })));
     }
 
     #[test]

@@ -10,7 +10,12 @@
 //! Telemetry: both built-in sinks count `io.sink.bytes_written`,
 //! `io.sink.files_written`, and `io.sink.bytes_read`; [`LocalFs`]
 //! additionally records `io.sink.fsync_ns` (the `sync_all` latency of
-//! each durable write).
+//! each durable write) and `io.sink.dirsync_ns` (the parent-directory
+//! sync that makes the publishing rename itself durable).
+//!
+//! Resilience wrappers live in sibling modules: [`crate::fault`]
+//! injects deterministic failures around any sink, and [`crate::retry`]
+//! retries transient ones with deterministic backoff.
 
 use crate::IoError;
 use drai_telemetry::Registry;
@@ -19,6 +24,7 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write;
 use std::path::{Component, Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -47,6 +53,15 @@ pub trait StorageSink: Send + Sync {
     /// Remove a blob (ok if absent).
     fn delete(&self, name: &str) -> Result<(), IoError>;
     /// True if the blob exists.
+    ///
+    /// Contract: `exists` is a *metadata probe* — callers (the shard
+    /// manifest paths, resumable pipelines) may issue it per blob and
+    /// expect O(1) cost with no effect on the `io.sink.bytes_read`
+    /// counter. The trait default reads the entire blob (O(size), and
+    /// inflates read telemetry); it exists only so trivial backends
+    /// compile. Every real backend must override it with a metadata
+    /// check, and wrapper sinks (retry/fault) must forward to the inner
+    /// backend's override rather than inherit the default.
     fn exists(&self, name: &str) -> bool {
         self.read_file(name).is_ok()
     }
@@ -95,6 +110,22 @@ impl LocalFs {
     }
 }
 
+/// Process-unique suffix counter for staging files (combined with the
+/// pid so concurrent processes sharing a sink root cannot collide).
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Staging path for an atomic write of `path`. The unique suffix is
+/// *appended to the full file name* — `with_extension` would map names
+/// differing only in their final extension (`data.json`, `data.csv`) to
+/// the same staging file, letting concurrent writers clobber each
+/// other's in-flight bytes.
+fn staging_path(path: &Path) -> PathBuf {
+    let n = TMP_COUNTER.fetch_add(1, AtomicOrdering::Relaxed);
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".tmp-write.{}.{n}", std::process::id()));
+    path.with_file_name(name)
+}
+
 impl StorageSink for LocalFs {
     fn write_file(&self, name: &str, data: &[u8]) -> Result<(), IoError> {
         let path = self.path_of(name)?;
@@ -103,17 +134,36 @@ impl StorageSink for LocalFs {
         }
         // Write-then-rename so a concurrent reader never observes a
         // partially written shard.
-        let tmp = path.with_extension("tmp-write");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(data)?;
-            let fsync_start = Instant::now();
-            f.sync_all()?;
-            Registry::global()
-                .histogram("io.sink.fsync_ns")
-                .record(fsync_start.elapsed().as_nanos() as u64);
+        let tmp = staging_path(&path);
+        let write_and_rename = || -> Result<(), IoError> {
+            {
+                let mut f = fs::File::create(&tmp)?;
+                f.write_all(data)?;
+                let fsync_start = Instant::now();
+                f.sync_all()?;
+                Registry::global()
+                    .histogram("io.sink.fsync_ns")
+                    .record(fsync_start.elapsed().as_nanos() as u64);
+            }
+            fs::rename(&tmp, &path)?;
+            Ok(())
+        };
+        if let Err(e) = write_and_rename() {
+            // Don't leak the staging file on any failure path.
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
         }
-        fs::rename(&tmp, &path)?;
+        // The rename only becomes durable once the parent directory's
+        // entry is on stable storage; without this a crash can lose the
+        // rename even though the file data itself was synced.
+        #[cfg(unix)]
+        if let Some(parent) = path.parent() {
+            let dirsync_start = Instant::now();
+            fs::File::open(parent)?.sync_all()?;
+            Registry::global()
+                .histogram("io.sink.dirsync_ns")
+                .record(dirsync_start.elapsed().as_nanos() as u64);
+        }
         count_write(data.len());
         Ok(())
     }
@@ -250,6 +300,62 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let sink = LocalFs::new(&dir).unwrap();
         exercise(&sink);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_same_stem_writes_do_not_collide() {
+        // Regression: `with_extension("tmp-write")` staged `d.json` and
+        // `d.csv` at the *same* path, so concurrent writers clobbered
+        // each other's staging file. The unique suffix must keep every
+        // in-flight write isolated.
+        let dir = std::env::temp_dir().join(format!("drai-io-stem-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = LocalFs::new(&dir).unwrap();
+        let exts = ["json", "csv", "bin", "txt"];
+        std::thread::scope(|s| {
+            for (t, ext) in exts.iter().enumerate() {
+                let sink = &sink;
+                s.spawn(move || {
+                    let payload = vec![t as u8 + 1; 4096];
+                    for _ in 0..50 {
+                        sink.write_file(&format!("d.{ext}"), &payload).unwrap();
+                    }
+                });
+            }
+        });
+        for (t, ext) in exts.iter().enumerate() {
+            assert_eq!(
+                sink.read_file(&format!("d.{ext}")).unwrap(),
+                vec![t as u8 + 1; 4096],
+                "d.{ext} was clobbered by a sibling extension's staging file"
+            );
+        }
+        // No staging litter after success.
+        for name in sink.list().unwrap() {
+            assert!(!name.contains("tmp-write"), "leftover staging file {name}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn staging_file_cleaned_up_on_error() {
+        // Force the rename to fail by squatting a *directory* on the
+        // destination path: the data writes fine, rename(tmp, dir)
+        // fails, and the staging file must not be left behind.
+        let dir = std::env::temp_dir().join(format!("drai-io-cleanup-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = LocalFs::new(&dir).unwrap();
+        std::fs::create_dir_all(dir.join("blocked")).unwrap();
+        std::fs::write(dir.join("blocked/child"), b"x").unwrap();
+        assert!(sink.write_file("blocked", b"payload").is_err());
+        let leftovers: Vec<String> = sink
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|n| n.contains("tmp-write"))
+            .collect();
+        assert!(leftovers.is_empty(), "staging litter: {leftovers:?}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -28,6 +28,7 @@
 //! Data is actually stored (it's also a correct [`StorageSink`]), so
 //! shard round-trip tests can run against the simulator too.
 
+use drai_io::fault::{FaultConfig, FaultSink};
 use drai_io::sink::StorageSink;
 use drai_io::IoError;
 use parking_lot::Mutex;
@@ -185,6 +186,15 @@ impl SimFs {
     /// Total bytes served by reads so far.
     pub fn total_read_bytes(&self) -> u64 {
         self.state.lock().ost_read_bytes.iter().sum()
+    }
+
+    /// Wrap a clone of this filesystem in a deterministic fault
+    /// injector (the simulated cluster's flaky-OST mode). Clones share
+    /// state, so the returned sink and `self` observe the same files
+    /// and clocks — compose with [`drai_io::retry::RetrySink`] to model
+    /// a resilient client against a misbehaving striped store.
+    pub fn faulty(&self, config: FaultConfig) -> FaultSink<SimFs> {
+        FaultSink::new(self.clone(), config)
     }
 
     /// Simulate moving `len` bytes striped from `start_ost` (the cost
@@ -436,6 +446,37 @@ mod tests {
         assert_eq!(fs.total_read_bytes(), data.len() as u64);
         // Symmetric cost model: read takes about as long as the write.
         assert!((fs.makespan() - 2.0 * after_write).abs() / after_write < 0.05);
+    }
+
+    #[test]
+    fn resilient_client_survives_flaky_osts() {
+        use drai_io::retry::{RetryPolicy, RetrySink, VirtualClock};
+        use drai_io::shard::{ShardReader, ShardSpec, ShardWriter};
+
+        let fs = fs(4, 2);
+        let clock = VirtualClock::new();
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            ..RetryPolicy::default()
+        };
+        let sink = RetrySink::with_clock(
+            fs.faulty(FaultConfig::transient(17, 0.25)),
+            policy,
+            clock.clone(),
+        );
+        let records: Vec<Vec<u8>> = (0..40).map(|i| vec![i as u8; 4096]).collect();
+        let manifest = ShardWriter::new(ShardSpec::new("flaky", 32 * 1024), &sink)
+            .write_all(&records)
+            .unwrap();
+        assert!(manifest.shards.len() > 1);
+        let reader = ShardReader::open("flaky", &sink).unwrap();
+        let recovered = reader.read_all_recovering();
+        assert!(recovered.damage.is_clean(), "{:?}", recovered.damage);
+        assert_eq!(recovered.records, records);
+        // The retries cost (virtual) backoff time, and the successful
+        // attempts advanced the simulated OST clocks.
+        assert!(clock.slept_ns() > 0, "expected injected faults to back off");
+        assert!(fs.makespan() > 0.0);
     }
 
     #[test]

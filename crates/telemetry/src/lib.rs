@@ -8,6 +8,14 @@
 //! [`export`] module renders it as JSON, JSONL, or criterion-style
 //! `estimates.json` files consumed by `scripts/summarize_bench.py`.
 //!
+//! Established metric families (dotted names, producer in parentheses):
+//! `pipeline.<name>.<stage>.{records,bytes,retries}` (drai-core),
+//! `io.prefetch.*`, `io.shard.*` — including the resilience counters
+//! `io.shard.{verify_rewrites,quarantined,records_lost}` —
+//! `io.codec.*`, `io.sink.*` (drai-io), and the fault/retry layer's
+//! `io.fault.{injected,write_transient,write_permanent,read_transient,corrupted}`
+//! and `io.retry.{attempts,exhausted,backoff_ns}`.
+//!
 //! ```
 //! use drai_telemetry::Registry;
 //!
