@@ -74,7 +74,7 @@ fn bench_formats(c: &mut Criterion) {
                     data: drai_formats::npy::write_npy(t),
                 })
                 .collect();
-            write_zip(&entries)
+            write_zip(&entries).unwrap()
         })
     });
 
@@ -124,7 +124,7 @@ fn bench_formats(c: &mut Criterion) {
                 data: drai_formats::npy::write_npy(t),
             })
             .collect();
-        write_zip(&entries).len()
+        write_zip(&entries).unwrap().len()
     };
     let tfr_size = write_records(tensors.iter().map(|t| {
         drai_formats::example::Example::new()

@@ -20,6 +20,8 @@
 //! stripe-count scaling on `drai-sim`) live in `src/bin/stripe_scaling.rs`,
 //! which prints its series directly.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};

@@ -22,6 +22,8 @@
 //! * [`metrics`] — throughput/latency accounting shared with the bench
 //!   harness.
 
+#![forbid(unsafe_code)]
+
 pub mod assess;
 pub mod card;
 pub mod dataset;

@@ -1,7 +1,8 @@
 //! Throughput and latency accounting shared by pipeline runs and the
 //! bench harness.
 
-use std::time::{Duration, Instant};
+use drai_telemetry::Stopwatch;
+use std::time::Duration;
 
 /// Accumulated work counters for one stage or run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -48,7 +49,7 @@ impl Throughput {
 
 /// Scope timer that records into a `Throughput` on drop.
 pub struct Timer {
-    start: Instant,
+    start: Stopwatch,
 }
 
 impl Default for Timer {
@@ -61,7 +62,7 @@ impl Timer {
     /// Start timing now.
     pub fn new() -> Timer {
         Timer {
-            start: Instant::now(),
+            start: Stopwatch::start(),
         }
     }
 

@@ -14,10 +14,9 @@
 use crate::metrics::Throughput;
 use crate::readiness::ProcessingStage;
 use crate::CoreError;
-use drai_telemetry::Registry;
+use drai_telemetry::{Registry, Stopwatch};
 use rayon::prelude::*;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Counters a stage can report about the work it did.
 #[derive(Debug, Clone, Copy, Default)]
@@ -131,7 +130,8 @@ impl<T: Clone + 'static> PipelineBuilder<T> {
         func: impl Fn(T, &mut StageCounters) -> Result<T, String> + Send + Sync + 'static,
     ) -> Self {
         assert!(max_attempts >= 1, "need at least one attempt");
-        let retry_metric = format!("pipeline.{}.{}.retries", self.name, name);
+        let pipeline_name = self.name.clone();
+        let stage_name = name.to_string();
         let wrapped = move |input: T, counters: &mut StageCounters| {
             let mut last_err = String::new();
             for attempt in 0..max_attempts {
@@ -144,7 +144,9 @@ impl<T: Clone + 'static> PipelineBuilder<T> {
                     Err(e) => {
                         last_err = e;
                         if attempt + 1 < max_attempts {
-                            Registry::global().counter(&retry_metric).incr();
+                            Registry::global()
+                                .counter(&format!("pipeline.{pipeline_name}.{stage_name}.retries"))
+                                .incr();
                         }
                     }
                 }
@@ -221,7 +223,7 @@ impl<T> Pipeline<T> {
         let mut metrics = Vec::with_capacity(self.stages.len());
         for stage in &self.stages {
             let span = telemetry.then(|| registry.span(self.stage_metric(&stage.name)));
-            let start = Instant::now();
+            let start = Stopwatch::start();
             let mut counters = StageCounters::default();
             current = (stage.func)(current, &mut counters).map_err(|message| CoreError::Stage {
                 stage: stage.name.clone(),
@@ -344,7 +346,9 @@ pub fn run_iterative<T>(
     let refine_counter = registry.counter(&format!("pipeline.{}.refinements", pipeline.name));
     let mut current = input;
     let mut refinements = Vec::new();
-    for pass in 1..=max_passes {
+    let mut pass = 0;
+    loop {
+        pass += 1;
         loop_span.add_items(1); // one item per executed pass
         let run = pipeline.run(current)?;
         match evaluate(&run.output) {
@@ -357,7 +361,7 @@ pub fn run_iterative<T>(
                 })
             }
             Feedback::Refine(reason) => {
-                if pass == max_passes {
+                if pass >= max_passes {
                     return Ok(IterativeRun {
                         output: run.output,
                         passes: pass,
@@ -371,7 +375,6 @@ pub fn run_iterative<T>(
             }
         }
     }
-    unreachable!("loop returns on final pass");
 }
 
 #[cfg(test)]

@@ -411,7 +411,10 @@ pub fn build_pipeline(
                         .collect();
                     let split = assign(&format!("t{t:06}"), cfg_shard.seed, cfg_shard.fractions)
                         .expect("validated fractions");
-                    (split, write_zip(&entries))
+                    (
+                        split,
+                        write_zip(&entries).expect("shards are far below the 4 GiB zip limit"),
+                    )
                 })
                 .collect();
             for (split, rec) in records {

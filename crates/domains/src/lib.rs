@@ -18,6 +18,8 @@
 //! metrics, and the provenance ledger — so the readiness assessor can
 //! grade the result and the Table 2 bench can measure each cell.
 
+#![forbid(unsafe_code)]
+
 pub mod bio;
 pub mod climate;
 pub mod fusion;

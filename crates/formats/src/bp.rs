@@ -20,6 +20,7 @@
 //! "BPLT"                trailer magic (validates the footer pointer)
 //! ```
 
+use crate::bytes::{arr4, arr8};
 use crate::{malformed, FormatError};
 use drai_io::checksum::crc32c;
 use drai_tensor::{DType, Element, Tensor};
@@ -209,9 +210,8 @@ impl<'a> BpReader<'a> {
             return Err(malformed("bp", "bad trailer"));
         }
         let tail = bytes.len() - 16;
-        let footer_offset =
-            u64::from_le_bytes(bytes[tail..tail + 8].try_into().expect("8")) as usize;
-        let footer_crc = u32::from_le_bytes(bytes[tail + 8..tail + 12].try_into().expect("4"));
+        let footer_offset = u64::from_le_bytes(arr8(&bytes[tail..tail + 8])) as usize;
+        let footer_crc = u32::from_le_bytes(arr4(&bytes[tail + 8..tail + 12]));
         let footer = bytes
             .get(footer_offset..tail)
             .ok_or_else(|| malformed("bp", "footer offset out of range"))?;
@@ -346,10 +346,10 @@ impl<'a> Cur<'a> {
         Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> Result<u32, FormatError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(arr4(self.take(4)?)))
     }
     fn u64(&mut self) -> Result<u64, FormatError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(arr8(self.take(8)?)))
     }
     fn str(&mut self) -> Result<String, FormatError> {
         let n = self.u32()? as usize;

@@ -79,7 +79,7 @@ pub fn write_fasta(records: &[FastaRecord], width: usize) -> String {
         out.push('\n');
         let bytes = r.sequence.as_bytes();
         for chunk in bytes.chunks(width) {
-            out.push_str(std::str::from_utf8(chunk).expect("ascii sequence"));
+            out.push_str(&String::from_utf8_lossy(chunk));
             out.push('\n');
         }
         if r.sequence.is_empty() {

@@ -16,6 +16,7 @@
 //! configurable bits-per-value, and an end marker — because *unpacking* is
 //! exactly the preprocessing cost the climate ingest stage pays.
 
+use crate::bytes::{arr4, arr8};
 use crate::{malformed, FormatError};
 use drai_io::codec::{bitpack, bitunpack};
 
@@ -168,7 +169,7 @@ pub fn decode_message(bytes: &[u8]) -> Result<(GribMessage, usize), FormatError>
         if bytes.len() < pos + 5 {
             return Err(malformed("grib", "truncated section header"));
         }
-        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_be_bytes(arr4(&bytes[pos..pos + 4])) as usize;
         let number = bytes[pos + 4];
         if len < 5 || bytes.len() < pos + len {
             return Err(malformed("grib", "truncated section body"));
@@ -187,9 +188,9 @@ pub fn decode_message(bytes: &[u8]) -> Result<(GribMessage, usize), FormatError>
                     .map_err(|_| malformed("grib", "non-UTF-8 parameter"))?
                     .to_string();
                 let at = 1 + plen;
-                nlat = u32::from_be_bytes(body[at..at + 4].try_into().expect("4"));
-                nlon = u32::from_be_bytes(body[at + 4..at + 8].try_into().expect("4"));
-                time_hours = u32::from_be_bytes(body[at + 8..at + 12].try_into().expect("4"));
+                nlat = u32::from_be_bytes(arr4(&body[at..at + 4]));
+                nlon = u32::from_be_bytes(arr4(&body[at + 4..at + 8]));
+                time_hours = u32::from_be_bytes(arr4(&body[at + 8..at + 12]));
             }
             6 => {
                 let n = (nlat as usize) * (nlon as usize);
@@ -200,13 +201,13 @@ pub fn decode_message(bytes: &[u8]) -> Result<(GribMessage, usize), FormatError>
                 if body.len() < 21 {
                     return Err(malformed("grib", "short data section"));
                 }
-                let reference = f64::from_be_bytes(body[..8].try_into().expect("8"));
-                let scale = f64::from_be_bytes(body[8..16].try_into().expect("8"));
+                let reference = f64::from_be_bytes(arr8(&body[..8]));
+                let scale = f64::from_be_bytes(arr8(&body[8..16]));
                 let bits = body[16] as u32;
                 if !(1..=32).contains(&bits) {
                     return Err(malformed("grib", "bad packing width"));
                 }
-                let count = u32::from_be_bytes(body[17..21].try_into().expect("4")) as usize;
+                let count = u32::from_be_bytes(arr4(&body[17..21])) as usize;
                 data = Some((reference, scale, bits, count, body[21..].to_vec()));
             }
             _ => {} // unknown sections skipped, per GRIB practice
@@ -239,15 +240,17 @@ pub fn decode_message(bytes: &[u8]) -> Result<(GribMessage, usize), FormatError>
                 return Err(malformed("grib", "bitmap/count mismatch"));
             }
             let mut it = unpacked.into_iter();
-            mask.iter()
-                .map(|&p| {
-                    if p {
-                        it.next().expect("count checked")
-                    } else {
-                        f64::NAN
-                    }
-                })
-                .collect()
+            let mut values = Vec::with_capacity(mask.len());
+            for &present in &mask {
+                let v = if present {
+                    it.next()
+                        .ok_or_else(|| malformed("grib", "bitmap/count mismatch"))?
+                } else {
+                    f64::NAN
+                };
+                values.push(v);
+            }
+            values
         }
     };
 

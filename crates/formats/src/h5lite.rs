@@ -23,6 +23,7 @@
 //! Chunking is along the leading axis ("rows"), matching how samples are
 //! appended and read back during training.
 
+use crate::bytes::{arr4, arr8};
 use crate::{malformed, FormatError};
 use drai_io::checksum::crc32c;
 use drai_tensor::{DType, Element, Tensor};
@@ -360,12 +361,12 @@ impl H5File {
         if bytes.len() < 20 || &bytes[..8] != MAGIC {
             return Err(malformed("h5lite", "bad magic"));
         }
-        let index_offset = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+        let index_offset = u64::from_le_bytes(arr8(&bytes[8..16])) as usize;
         if index_offset + 4 > bytes.len() {
             return Err(malformed("h5lite", "index offset out of range"));
         }
         let idx = &bytes[index_offset..bytes.len() - 4];
-        let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_le_bytes(arr4(&bytes[bytes.len() - 4..]));
         if crc32c(idx) != stored_crc {
             return Err(FormatError::Io(drai_io::IoError::ChecksumMismatch {
                 context: "h5lite index".into(),
@@ -478,10 +479,10 @@ impl<'a> Cur<'a> {
         Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> Result<u32, FormatError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(arr4(self.take(4)?)))
     }
     fn u64(&mut self) -> Result<u64, FormatError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(arr8(self.take(8)?)))
     }
     fn str(&mut self) -> Result<String, FormatError> {
         let n = self.u32()? as usize;
@@ -491,8 +492,8 @@ impl<'a> Cur<'a> {
     fn attr(&mut self) -> Result<AttrValue, FormatError> {
         Ok(match self.u8()? {
             0 => AttrValue::Text(self.str()?),
-            1 => AttrValue::Int(i64::from_le_bytes(self.take(8)?.try_into().expect("8"))),
-            2 => AttrValue::Float(f64::from_le_bytes(self.take(8)?.try_into().expect("8"))),
+            1 => AttrValue::Int(i64::from_le_bytes(arr8(self.take(8)?))),
+            2 => AttrValue::Float(f64::from_le_bytes(arr8(self.take(8)?))),
             3 => {
                 let n = self.u32()? as usize;
                 AttrValue::Bytes(self.take(n)?.to_vec())

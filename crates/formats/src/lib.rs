@@ -24,7 +24,10 @@
 //! process groups + footer index) in a clean-room format, as documented in
 //! DESIGN.md's substitution table.
 
+#![forbid(unsafe_code)]
+
 pub mod bp;
+pub(crate) mod bytes;
 pub mod csv;
 pub mod example;
 pub mod fasta;

@@ -21,6 +21,7 @@
 //! attributes. Not implemented (rejected on read): CDF-2/CDF-5 offsets,
 //! fill-value defaulting beyond explicit data.
 
+use crate::bytes::{arr2, arr4, arr8};
 use crate::{malformed, unsupported, FormatError};
 
 const MAGIC: &[u8; 4] = b"CDF\x01";
@@ -182,22 +183,22 @@ impl NcValues {
             ),
             NcType::Short => NcValues::Short(
                 b.chunks_exact(2)
-                    .map(|c| i16::from_be_bytes(c.try_into().expect("2 bytes")))
+                    .map(|c| i16::from_be_bytes(arr2(c)))
                     .collect(),
             ),
             NcType::Int => NcValues::Int(
                 b.chunks_exact(4)
-                    .map(|c| i32::from_be_bytes(c.try_into().expect("4 bytes")))
+                    .map(|c| i32::from_be_bytes(arr4(c)))
                     .collect(),
             ),
             NcType::Float => NcValues::Float(
                 b.chunks_exact(4)
-                    .map(|c| f32::from_be_bytes(c.try_into().expect("4 bytes")))
+                    .map(|c| f32::from_be_bytes(arr4(c)))
                     .collect(),
             ),
             NcType::Double => NcValues::Double(
                 b.chunks_exact(8)
-                    .map(|c| f64::from_be_bytes(c.try_into().expect("8 bytes")))
+                    .map(|c| f64::from_be_bytes(arr8(c)))
                     .collect(),
             ),
         })
@@ -606,9 +607,7 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, FormatError> {
-        Ok(u32::from_be_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_be_bytes(arr4(self.take(4)?)))
     }
 
     fn name(&mut self) -> Result<String, FormatError> {

@@ -4,6 +4,7 @@
 //! fields, and packed repeated scalars. Wire types per the protobuf spec:
 //! 0 = varint, 1 = 64-bit, 2 = length-delimited, 5 = 32-bit.
 
+use crate::bytes::{arr4, arr8};
 use crate::{malformed, FormatError};
 use drai_io::varint::{read_uvarint, write_uvarint};
 
@@ -113,7 +114,7 @@ pub fn decode_fields(mut data: &[u8]) -> Result<Vec<(u32, FieldValue<'_>)>, Form
                 if data.len() < 8 {
                     return Err(malformed("protobuf", "short fixed64"));
                 }
-                let v = u64::from_le_bytes(data[..8].try_into().expect("8 bytes"));
+                let v = u64::from_le_bytes(arr8(&data[..8]));
                 data = &data[8..];
                 FieldValue::Fixed64(v)
             }
@@ -133,7 +134,7 @@ pub fn decode_fields(mut data: &[u8]) -> Result<Vec<(u32, FieldValue<'_>)>, Form
                 if data.len() < 4 {
                     return Err(malformed("protobuf", "short fixed32"));
                 }
-                let v = u32::from_le_bytes(data[..4].try_into().expect("4 bytes"));
+                let v = u32::from_le_bytes(arr4(&data[..4]));
                 data = &data[4..];
                 FieldValue::Fixed32(v)
             }
@@ -150,7 +151,7 @@ pub fn decode_packed_floats(data: &[u8]) -> Result<Vec<f32>, FormatError> {
     }
     Ok(data
         .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .map(|c| f32::from_le_bytes(arr4(c)))
         .collect())
 }
 

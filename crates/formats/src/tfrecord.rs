@@ -14,6 +14,7 @@
 //! diagnostic features as [`crate::example::Example`] payloads in this
 //! framing, which real TensorFlow tooling can read.
 
+use crate::bytes::{arr4, arr8};
 use crate::{malformed, FormatError};
 use drai_io::checksum::masked_crc32c;
 
@@ -72,12 +73,8 @@ impl<'a> Iterator for TfRecordReader<'a> {
             return fail(format!("record {i}: truncated length header"));
         }
         let len_bytes = &self.data[self.pos..self.pos + 8];
-        let len = u64::from_le_bytes(len_bytes.try_into().expect("8 bytes")) as usize;
-        let len_crc = u32::from_le_bytes(
-            self.data[self.pos + 8..self.pos + 12]
-                .try_into()
-                .expect("4 bytes"),
-        );
+        let len = u64::from_le_bytes(arr8(len_bytes)) as usize;
+        let len_crc = u32::from_le_bytes(arr4(&self.data[self.pos + 8..self.pos + 12]));
         if masked_crc32c(len_bytes) != len_crc {
             self.pos = self.data.len();
             return fail(format!("record {i}: length CRC mismatch"));
@@ -88,11 +85,7 @@ impl<'a> Iterator for TfRecordReader<'a> {
             return fail(format!("record {i}: truncated payload"));
         }
         let payload = &self.data[data_start..data_start + len];
-        let data_crc = u32::from_le_bytes(
-            self.data[data_start + len..data_start + len + 4]
-                .try_into()
-                .expect("4 bytes"),
-        );
+        let data_crc = u32::from_le_bytes(arr4(&self.data[data_start + len..data_start + len + 4]));
         if masked_crc32c(payload) != data_crc {
             self.pos = self.data.len();
             return fail(format!("record {i}: payload CRC mismatch"));

@@ -5,6 +5,7 @@
 //! Implements the classic ZIP structures — local file headers, central
 //! directory, end-of-central-directory — for archives < 4 GiB (no ZIP64).
 
+use crate::bytes::{arr2, arr4};
 use crate::{malformed, unsupported, FormatError};
 use drai_io::crc32;
 
@@ -23,9 +24,9 @@ pub struct ZipEntry {
 
 /// Build a STORE-mode ZIP archive from `(name, data)` members.
 ///
-/// Panics if total size would exceed the 32-bit ZIP limits (callers shard
-/// well below 4 GiB).
-pub fn write_zip(entries: &[ZipEntry]) -> Vec<u8> {
+/// Fails if total size would exceed the 32-bit ZIP limits (callers shard
+/// well below 4 GiB; there is no ZIP64 support).
+pub fn write_zip(entries: &[ZipEntry]) -> Result<Vec<u8>, FormatError> {
     let total: usize = entries
         .iter()
         .map(|e| e.data.len() + e.name.len() + 92)
@@ -35,8 +36,10 @@ pub fn write_zip(entries: &[ZipEntry]) -> Vec<u8> {
     for entry in entries {
         let name = entry.name.as_bytes();
         let crc = crc32(&entry.data);
-        let size = u32::try_from(entry.data.len()).expect("zip member < 4 GiB");
-        let offset = u32::try_from(out.len()).expect("zip archive < 4 GiB");
+        let size = u32::try_from(entry.data.len())
+            .map_err(|_| unsupported("zip", format!("member `{}` exceeds 4 GiB", entry.name)))?;
+        let offset = u32::try_from(out.len())
+            .map_err(|_| unsupported("zip", "archive exceeds 4 GiB (no ZIP64)"))?;
 
         // Local file header.
         out.extend_from_slice(&LOCAL_MAGIC.to_le_bytes());
@@ -73,8 +76,10 @@ pub fn write_zip(entries: &[ZipEntry]) -> Vec<u8> {
         central.extend_from_slice(&offset.to_le_bytes());
         central.extend_from_slice(name);
     }
-    let cd_offset = u32::try_from(out.len()).expect("zip archive < 4 GiB");
-    let cd_size = u32::try_from(central.len()).expect("central dir < 4 GiB");
+    let cd_offset = u32::try_from(out.len())
+        .map_err(|_| unsupported("zip", "archive exceeds 4 GiB (no ZIP64)"))?;
+    let cd_size = u32::try_from(central.len())
+        .map_err(|_| unsupported("zip", "central directory exceeds 4 GiB"))?;
     out.extend_from_slice(&central);
     // End of central directory.
     out.extend_from_slice(&EOCD_MAGIC.to_le_bytes());
@@ -85,18 +90,18 @@ pub fn write_zip(entries: &[ZipEntry]) -> Vec<u8> {
     out.extend_from_slice(&cd_size.to_le_bytes());
     out.extend_from_slice(&cd_offset.to_le_bytes());
     out.extend_from_slice(&0u16.to_le_bytes()); // comment len
-    out
+    Ok(out)
 }
 
 fn rd_u16(b: &[u8], at: usize) -> Result<u16, FormatError> {
     b.get(at..at + 2)
-        .map(|s| u16::from_le_bytes(s.try_into().expect("2 bytes")))
+        .map(|s| u16::from_le_bytes(arr2(s)))
         .ok_or_else(|| malformed("zip", "truncated"))
 }
 
 fn rd_u32(b: &[u8], at: usize) -> Result<u32, FormatError> {
     b.get(at..at + 4)
-        .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+        .map(|s| u32::from_le_bytes(arr4(s)))
         .ok_or_else(|| malformed("zip", "truncated"))
 }
 
@@ -202,21 +207,21 @@ mod tests {
     #[test]
     fn round_trip() {
         let entries = sample();
-        let bytes = write_zip(&entries);
+        let bytes = write_zip(&entries).unwrap();
         let back = read_zip(&bytes).unwrap();
         assert_eq!(back, entries);
     }
 
     #[test]
     fn empty_archive() {
-        let bytes = write_zip(&[]);
+        let bytes = write_zip(&[]).unwrap();
         assert_eq!(bytes.len(), 22); // EOCD only
         assert!(read_zip(&bytes).unwrap().is_empty());
     }
 
     #[test]
     fn structure_markers() {
-        let bytes = write_zip(&sample());
+        let bytes = write_zip(&sample()).unwrap();
         assert_eq!(&bytes[..4], &LOCAL_MAGIC.to_le_bytes());
         assert_eq!(
             &bytes[bytes.len() - 22..bytes.len() - 18],
@@ -226,7 +231,7 @@ mod tests {
 
     #[test]
     fn corruption_detected() {
-        let mut bytes = write_zip(&sample());
+        let mut bytes = write_zip(&sample()).unwrap();
         // Flip one byte of the first member's data (offset 30 + name).
         bytes[30 + 5 + 2] ^= 0xFF;
         assert!(matches!(
@@ -237,7 +242,7 @@ mod tests {
 
     #[test]
     fn truncation_detected() {
-        let bytes = write_zip(&sample());
+        let bytes = write_zip(&sample()).unwrap();
         assert!(read_zip(&bytes[..bytes.len() - 4]).is_err());
         assert!(read_zip(&bytes[..10]).is_err());
         assert!(read_zip(b"PK").is_err());
@@ -256,7 +261,7 @@ mod tests {
     #[test]
     fn tolerates_trailing_comment_space() {
         // EOCD scan must find the record even with a trailing comment.
-        let mut bytes = write_zip(&sample());
+        let mut bytes = write_zip(&sample()).unwrap();
         let n = bytes.len();
         bytes[n - 2] = 4; // comment length = 4
         bytes.extend_from_slice(b"note");

@@ -158,7 +158,9 @@ pub fn content_hash128(data: &[u8]) -> [u8; 16] {
     let mut h2 = 0xC2B2_AE3D_27D4_EB4F_u64 ^ (data.len() as u64).rotate_left(32);
     let mut chunks = data.chunks_exact(8);
     for chunk in &mut chunks {
-        let w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let w = u64::from_le_bytes([
+            chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+        ]);
         h1 = mix(h1 ^ w);
         h2 = mix(h2.rotate_left(17) ^ w.wrapping_mul(0x9DDF_EA08_EB38_2D69));
     }

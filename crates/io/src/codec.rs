@@ -193,18 +193,18 @@ impl Codec for InstrumentedCodec {
     }
 
     fn encode(&self, data: &[u8]) -> Vec<u8> {
-        let start = std::time::Instant::now();
+        let start = drai_telemetry::Stopwatch::start();
         let out = self.inner.encode(data);
-        self.encode_ns.record(start.elapsed().as_nanos() as u64);
+        self.encode_ns.record(start.elapsed_ns());
         self.bytes_in.add(data.len() as u64);
         self.bytes_out.add(out.len() as u64);
         out
     }
 
     fn decode(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
-        let start = std::time::Instant::now();
+        let start = drai_telemetry::Stopwatch::start();
         let out = self.inner.decode(data);
-        self.decode_ns.record(start.elapsed().as_nanos() as u64);
+        self.decode_ns.record(start.elapsed_ns());
         out
     }
 }

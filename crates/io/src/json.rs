@@ -269,7 +269,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), JsonError> {
+    fn consume(&mut self, b: u8, message: &'static str) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -310,7 +310,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[', "expected [")?;
+        self.consume(b'[', "expected [")?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -333,7 +333,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{', "expected {")?;
+        self.consume(b'{', "expected {")?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -344,7 +344,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':', "expected :")?;
+            self.consume(b':', "expected :")?;
             self.skip_ws();
             let val = self.value()?;
             map.insert(key, val);
@@ -361,7 +361,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"', "expected string")?;
+        self.consume(b'"', "expected string")?;
         let mut out = String::new();
         loop {
             let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
@@ -387,8 +387,8 @@ impl<'a> Parser<'a> {
                             let cp = self.hex4()?;
                             if (0xD800..0xDC00).contains(&cp) {
                                 // High surrogate: require a following \uXXXX low.
-                                self.expect(b'\\', "expected low surrogate")?;
-                                self.expect(b'u', "expected low surrogate")?;
+                                self.consume(b'\\', "expected low surrogate")?;
+                                self.consume(b'u', "expected low surrogate")?;
                                 let lo = self.hex4()?;
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err(self.err("invalid low surrogate"));

@@ -33,6 +33,8 @@
 //! * [`parallel`] — double-buffered prefetching readers and chunked
 //!   parallel writers built on crossbeam channels.
 
+#![forbid(unsafe_code)]
+
 pub mod checksum;
 pub mod codec;
 pub mod crypto;

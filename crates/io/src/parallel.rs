@@ -16,12 +16,11 @@
 //! `io.prefetch.reorder_depth` gauge (reorder-buffer high-water mark).
 
 use crossbeam::channel::{bounded, Receiver};
-use drai_telemetry::{Counter, Gauge, Histogram, Registry};
+use drai_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
 
 /// Apply `f` to each item on `workers` background threads, yielding results
 /// **in input order** through a queue holding at most `queue_cap` completed
@@ -68,9 +67,9 @@ where
         let work_hist = work_hist.clone();
         pool.push(thread::spawn(move || {
             while let Ok((idx, item)) = work_rx.recv() {
-                let start = Instant::now();
+                let start = Stopwatch::start();
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)));
-                work_hist.record(start.elapsed().as_nanos() as u64);
+                work_hist.record(start.elapsed_ns());
                 if done_tx.send((idx, result)).is_err() {
                     break;
                 }
@@ -134,15 +133,17 @@ impl<U> Iterator for PrefetchIter<U> {
             self.join();
             return None;
         }
-        let wait_start = Instant::now();
+        let wait_start = Stopwatch::start();
         loop {
             // Serve from the reorder buffer when the next index is ready.
-            if let Some(Reverse(top)) = self.pending.peek() {
-                if top.index == self.next_index {
-                    let Reverse(entry) = self.pending.pop().expect("peeked entry");
+            let head_ready = self
+                .pending
+                .peek()
+                .is_some_and(|Reverse(top)| top.index == self.next_index);
+            if head_ready {
+                if let Some(Reverse(entry)) = self.pending.pop() {
                     self.next_index += 1;
-                    self.wait_hist
-                        .record(wait_start.elapsed().as_nanos() as u64);
+                    self.wait_hist.record(wait_start.elapsed_ns());
                     match entry.value {
                         Ok(v) => {
                             self.items_counter.incr();
@@ -169,6 +170,7 @@ impl<U> Iterator for PrefetchIter<U> {
                     // Workers gone with items missing: a worker panicked
                     // between recv and send, or state is inconsistent.
                     self.join();
+                    // drai-lint: allow(no-panic-in-lib) reason="documented contract: prefetch_map propagates worker panics to the caller; there is no value to return here"
                     panic!("prefetch workers terminated early");
                 }
             }

@@ -30,9 +30,8 @@ use crate::codec::{codec_for, CodecId};
 use crate::json::Json;
 use crate::sink::StorageSink;
 use crate::IoError;
-use drai_telemetry::Registry;
+use drai_telemetry::{Registry, Stopwatch};
 use rayon::prelude::*;
-use std::time::Instant;
 
 const SHARD_MAGIC: &[u8; 8] = b"DSHRD1\0\0";
 const RECORD_HEADER: usize = 8; // u32 len + u32 masked crc
@@ -247,14 +246,14 @@ impl<'a> ShardWriter<'a> {
 
         // Parallel per-record encode (order preserved by collect).
         let codec = codec_for(self.spec.codec);
-        let encode_start = Instant::now();
+        let encode_start = Stopwatch::start();
         let encoded: Vec<Vec<u8>> = records
             .par_iter()
             .map(|r| codec.encode(r.as_ref()))
             .collect();
         registry
             .histogram("io.shard.encode_ns")
-            .record(encode_start.elapsed().as_nanos() as u64);
+            .record(encode_start.elapsed_ns());
         drop(records);
 
         // Greedy size-based packing into shards.
@@ -277,7 +276,7 @@ impl<'a> ShardWriter<'a> {
         // Assemble and write shards in parallel; infos keep group order.
         let spec = &self.spec;
         let sink = self.sink;
-        let write_start = Instant::now();
+        let write_start = Stopwatch::start();
         let infos: Vec<Result<ShardInfo, IoError>> = groups
             .par_iter()
             .enumerate()
@@ -312,7 +311,7 @@ impl<'a> ShardWriter<'a> {
             .collect();
         registry
             .histogram("io.shard.write_ns")
-            .record(write_start.elapsed().as_nanos() as u64);
+            .record(write_start.elapsed_ns());
         let mut shards = Vec::with_capacity(infos.len());
         for info in infos {
             shards.push(info?);
@@ -598,8 +597,9 @@ pub fn parse_shard_partial(
                 Some(IoError::Format(format!("{name}: truncated record header"))),
             );
         }
-        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let len =
+            u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]) as usize;
+        let crc = u32::from_le_bytes([data[pos + 4], data[pos + 5], data[pos + 6], data[pos + 7]]);
         pos += RECORD_HEADER;
         if len > data.len() - pos {
             return (

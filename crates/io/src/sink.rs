@@ -18,7 +18,7 @@
 //! retries transient ones with deterministic backoff.
 
 use crate::IoError;
-use drai_telemetry::Registry;
+use drai_telemetry::{Registry, Stopwatch};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fs;
@@ -26,7 +26,6 @@ use std::io::Write;
 use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
-use std::time::Instant;
 
 fn count_write(bytes: usize) {
     let registry = Registry::global();
@@ -139,11 +138,11 @@ impl StorageSink for LocalFs {
             {
                 let mut f = fs::File::create(&tmp)?;
                 f.write_all(data)?;
-                let fsync_start = Instant::now();
+                let fsync_start = Stopwatch::start();
                 f.sync_all()?;
                 Registry::global()
                     .histogram("io.sink.fsync_ns")
-                    .record(fsync_start.elapsed().as_nanos() as u64);
+                    .record(fsync_start.elapsed_ns());
             }
             fs::rename(&tmp, &path)?;
             Ok(())
@@ -158,11 +157,11 @@ impl StorageSink for LocalFs {
         // rename even though the file data itself was synced.
         #[cfg(unix)]
         if let Some(parent) = path.parent() {
-            let dirsync_start = Instant::now();
+            let dirsync_start = Stopwatch::start();
             fs::File::open(parent)?.sync_all()?;
             Registry::global()
                 .histogram("io.sink.dirsync_ns")
-                .record(dirsync_start.elapsed().as_nanos() as u64);
+                .record(dirsync_start.elapsed_ns());
         }
         count_write(data.len());
         Ok(())

@@ -1,0 +1,128 @@
+//! Command-line front end for `drai-lint`.
+//!
+//! ```text
+//! drai-lint [--root DIR] [--format text|json] [--list-rules]
+//! ```
+//!
+//! Exits 0 when the workspace is clean, 1 when any finding is active,
+//! 2 on usage or I/O errors. CI runs `--format json` and uploads the
+//! report as an artifact.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use drai_lint::{lint_workspace, Report, RULE_NAMES};
+
+enum Format {
+    Text,
+    Json,
+}
+
+struct Args {
+    root: PathBuf,
+    format: Format,
+    list_rules: bool,
+}
+
+fn usage() -> String {
+    "usage: drai-lint [--root DIR] [--format text|json] [--list-rules]".to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = None;
+    let mut format = Format::Text;
+    let mut list_rules = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = argv
+                    .next()
+                    .ok_or_else(|| format!("--root needs a directory\n{}", usage()))?;
+                root = Some(PathBuf::from(dir));
+            }
+            "--format" => {
+                format = match argv.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!(
+                            "--format must be `text` or `json`, got {other:?}\n{}",
+                            usage()
+                        ))
+                    }
+                };
+            }
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        // Default to the workspace root: two levels up from this
+        // crate's manifest when run via `cargo run -p drai-lint`,
+        // falling back to the current directory.
+        None => {
+            let from_manifest = std::env::var_os("CARGO_MANIFEST_DIR")
+                .map(PathBuf::from)
+                .and_then(|m| m.parent().and_then(|p| p.parent()).map(PathBuf::from));
+            from_manifest.unwrap_or_else(|| PathBuf::from("."))
+        }
+    };
+    Ok(Args {
+        root,
+        format,
+        list_rules,
+    })
+}
+
+fn print_text(report: &Report) {
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    for s in &report.suppressed {
+        println!(
+            "{}:{}: [{}] suppressed: {} (reason: {})",
+            s.finding.file, s.finding.line, s.finding.rule, s.finding.message, s.reason
+        );
+    }
+    println!(
+        "drai-lint: {} file(s) scanned, {} finding(s), {} suppressed",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed.len()
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for rule in RULE_NAMES {
+            println!("{rule}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let report = match lint_workspace(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("drai-lint: failed to scan {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    match args.format {
+        Format::Text => print_text(&report),
+        Format::Json => print!("{}", report.to_json()),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,9 @@
+//! The rule set. Each rule is a module with a `RULE` id and a
+//! `check_file` entry point; cross-file rules add a workspace pass.
+
+pub mod error_context;
+pub mod no_panic;
+pub mod no_wallclock;
+pub mod shim_parity;
+pub mod telemetry_names;
+pub mod unsafe_audit;

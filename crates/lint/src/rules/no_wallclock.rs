@@ -1,0 +1,117 @@
+//! `no-wallclock`: `Instant::now()` / `SystemTime::now()` scattered
+//! through the data plane breaks deterministic replay (PR 2's fault
+//! injection is seeded; a run must be reproducible from its seed).
+//! Time may be read in exactly two places: `drai-telemetry`, whose
+//! `Stopwatch` type wraps timing for instrumentation, and the retry
+//! module's `SystemClock`, which is the injectable clock boundary.
+//! Everything else takes elapsed time from those abstractions.
+
+use crate::{FileClass, Finding, SourceFile};
+
+/// Rule id.
+pub const RULE: &str = "no-wallclock";
+
+/// Files allowed to touch the wall clock directly.
+const ALLOWED_FILES: &[&str] = &["crates/io/src/retry.rs"];
+
+/// Crates allowed to touch the wall clock directly.
+const ALLOWED_CRATES: &[&str] = &["telemetry", "bench"];
+
+fn in_scope(file: &SourceFile) -> bool {
+    if !matches!(file.class, FileClass::Lib | FileClass::Bin) {
+        return false;
+    }
+    if !(file.rel.starts_with("crates/") || file.rel.starts_with("src/")) {
+        return false;
+    }
+    if ALLOWED_CRATES.contains(&file.crate_name.as_str()) {
+        return false;
+    }
+    !ALLOWED_FILES.contains(&file.rel.as_str())
+}
+
+/// Scan one file.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_scope(file) {
+        return;
+    }
+    let lex = &file.lex;
+    for i in 0..lex.tokens.len() {
+        if lex.is_test_token(i) {
+            continue;
+        }
+        let Some(ty) = lex.ident_at(i) else { continue };
+        if ty != "Instant" && ty != "SystemTime" {
+            continue;
+        }
+        // Instant :: now
+        if lex.punct_at(i + 1, ':')
+            && lex.punct_at(i + 2, ':')
+            && lex.ident_at(i + 3) == Some("now")
+        {
+            out.push(Finding {
+                rule: RULE,
+                file: file.rel.clone(),
+                line: lex.tokens[i].line,
+                message: format!(
+                    "{ty}::now() outside drai-telemetry — use telemetry::Stopwatch (or the retry Clock) so replay stays deterministic"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_file;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check_file(&source_file(rel, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn instant_now_fires() {
+        let src = "fn f() { let t = std::time::Instant::now(); let _ = t; }";
+        let f = run("crates/io/src/sink.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("Instant::now"));
+    }
+
+    #[test]
+    fn system_time_now_fires() {
+        let src = "fn f() { let _ = std::time::SystemTime::now(); }";
+        assert_eq!(run("crates/core/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn telemetry_and_retry_clock_exempt() {
+        let src = "fn f() { let _ = std::time::Instant::now(); }";
+        assert!(run("crates/telemetry/src/lib.rs", src).is_empty());
+        assert!(run("crates/io/src/retry.rs", src).is_empty());
+        assert!(run("crates/bench/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tests_and_examples_exempt() {
+        let src = "fn f() { let _ = std::time::Instant::now(); }";
+        assert!(run("tests/end_to_end.rs", src).is_empty());
+        assert!(run("examples/quickstart.rs", src).is_empty());
+        let in_test = "
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let _ = std::time::Instant::now(); }
+}
+";
+        assert!(run("crates/io/src/x.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn elapsed_and_duration_are_fine() {
+        let src = "fn f(s: &drai_telemetry::Stopwatch) -> u64 { s.elapsed_ns() }";
+        assert!(run("crates/io/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Suppression comments: `// drai-lint: allow(<rule>) reason="..."`.
+//!
+//! A suppression silences findings of one rule on its own line or the
+//! line directly below (so it can sit at the end of the offending line
+//! or on the line above it). The reason is mandatory and non-empty;
+//! malformed suppressions are reported under the `suppression` rule,
+//! and so are suppressions that match nothing — the allow-list cannot
+//! rot silently.
+
+use crate::lexer::LexFile;
+use crate::RULE_NAMES;
+
+/// Rule id for malformed/unused suppression findings.
+pub const RULE: &str = "suppression";
+
+const MARKER: &str = "drai-lint:";
+
+/// One parsed suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule being allowed.
+    pub rule: String,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line of the comment.
+    pub line: u32,
+    /// Last line of the comment (block comments can span lines).
+    pub end_line: u32,
+    /// Set by the engine when a finding matched.
+    pub used: bool,
+}
+
+impl Suppression {
+    /// True when this suppression covers a finding of `rule` at `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rule == rule && line >= self.line && line <= self.end_line + 1
+    }
+}
+
+/// A suppression comment the parser rejected.
+#[derive(Debug, Clone)]
+pub struct Malformed {
+    /// Line of the comment.
+    pub line: u32,
+    /// Why it was rejected.
+    pub message: String,
+}
+
+/// Extract all suppressions (and malformed attempts) from a lexed file.
+pub fn collect(lex: &LexFile) -> (Vec<Suppression>, Vec<Malformed>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for c in &lex.comments {
+        // Doc comments describe suppressions (this crate's own docs do);
+        // only plain comments can enact one.
+        if c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/*!")
+            || c.text.starts_with("/**")
+        {
+            continue;
+        }
+        let Some(pos) = c.text.find(MARKER) else {
+            continue;
+        };
+        let body = c.text[pos + MARKER.len()..].trim();
+        match parse(body) {
+            Ok((rule, reason)) => {
+                if !RULE_NAMES.contains(&rule.as_str()) {
+                    bad.push(Malformed {
+                        line: c.line,
+                        message: format!("suppression names unknown rule `{rule}`"),
+                    });
+                } else {
+                    sups.push(Suppression {
+                        rule,
+                        reason,
+                        line: c.line,
+                        end_line: c.end_line,
+                        used: false,
+                    });
+                }
+            }
+            Err(msg) => bad.push(Malformed {
+                line: c.line,
+                message: msg.to_string(),
+            }),
+        }
+    }
+    (sups, bad)
+}
+
+/// Parse `allow(<rule>) reason="..."`.
+fn parse(body: &str) -> Result<(String, String), &'static str> {
+    let rest = body
+        .strip_prefix("allow(")
+        .ok_or("suppression must be `allow(<rule>) reason=\"...\"`")?;
+    let close = rest
+        .find(')')
+        .ok_or("suppression is missing `)` after the rule name")?;
+    let rule = rest[..close].trim().to_string();
+    if rule.is_empty() {
+        return Err("suppression has an empty rule name");
+    }
+    let tail = rest[close + 1..].trim();
+    let reason_body = tail
+        .strip_prefix("reason=\"")
+        .ok_or("suppression reason is mandatory: append reason=\"...\"")?;
+    let end = reason_body
+        .find('"')
+        .ok_or("suppression reason is missing its closing quote")?;
+    let reason = reason_body[..end].trim().to_string();
+    if reason.is_empty() {
+        return Err("suppression reason must not be empty");
+    }
+    Ok((rule, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_valid_suppression() {
+        let f = lex("let x = risky(); // drai-lint: allow(no-panic-in-lib) reason=\"bounds checked above\"\n");
+        let (sups, bad) = collect(&f);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].rule, "no-panic-in-lib");
+        assert_eq!(sups[0].reason, "bounds checked above");
+        assert!(sups[0].covers("no-panic-in-lib", 1));
+        assert!(sups[0].covers("no-panic-in-lib", 2));
+        assert!(!sups[0].covers("no-panic-in-lib", 3));
+        assert!(!sups[0].covers("unsafe-audit", 1));
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let f = lex("// drai-lint: allow(no-panic-in-lib)\n");
+        let (sups, bad) = collect(&f);
+        assert!(sups.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("mandatory"));
+    }
+
+    #[test]
+    fn empty_reason_is_malformed() {
+        let f = lex("// drai-lint: allow(unsafe-audit) reason=\"  \"\n");
+        let (sups, bad) = collect(&f);
+        assert!(sups.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        let f = lex("// drai-lint: allow(made-up) reason=\"why not\"\n");
+        let (sups, bad) = collect(&f);
+        assert!(sups.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("made-up"));
+    }
+
+    #[test]
+    fn doc_comments_cannot_suppress() {
+        let f = lex("//! Example: `// drai-lint: allow(no-panic-in-lib) reason=\"x\"`\n/// Same here: drai-lint: allow(bogus) reason=\"y\"\nfn f() {}\n");
+        let (sups, bad) = collect(&f);
+        assert!(sups.is_empty(), "{sups:?}");
+        assert!(bad.is_empty(), "{bad:?}");
+    }
+
+    #[test]
+    fn ordinary_comments_ignored() {
+        let f = lex("// just a note about drai, not a directive\n");
+        let (sups, bad) = collect(&f);
+        assert!(sups.is_empty());
+        assert!(bad.is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! Self-check: the workspace that ships `drai-lint` must itself be lint
+//! clean, within the agreed suppression budget. This is the test CI runs
+//! alongside the dedicated `lint` job, so a violation fails `cargo test`
+//! even where the binary is not invoked.
+
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let report = drai_lint::lint_workspace(&root).expect("workspace scan succeeds");
+    assert!(report.files_scanned > 50, "scan looks truncated");
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn suppression_budget_respected() {
+    let root = workspace_root();
+    let report = drai_lint::lint_workspace(&root).expect("workspace scan succeeds");
+    assert!(
+        report.suppressed.len() <= 10,
+        "suppression budget exceeded: {} > 10",
+        report.suppressed.len()
+    );
+    let in_telemetry: Vec<_> = report
+        .suppressed
+        .iter()
+        .filter(|f| f.finding.file.starts_with("crates/telemetry/"))
+        .collect();
+    assert!(
+        in_telemetry.is_empty(),
+        "drai-telemetry must need zero suppressions, found {in_telemetry:?}"
+    );
+}

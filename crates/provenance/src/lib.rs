@@ -20,6 +20,8 @@
 //! Serialization is JSONL (one event per line) through `drai-io`'s JSON
 //! module, making audit logs greppable and appendable.
 
+#![forbid(unsafe_code)]
+
 use drai_io::checksum::{content_hash128, hash_hex};
 use drai_io::json::Json;
 use parking_lot::Mutex;

@@ -8,13 +8,17 @@
 //! [`export`] module renders it as JSON, JSONL, or criterion-style
 //! `estimates.json` files consumed by `scripts/summarize_bench.py`.
 //!
-//! Established metric families (dotted names, producer in parentheses):
-//! `pipeline.<name>.<stage>.{records,bytes,retries}` (drai-core),
-//! `io.prefetch.*`, `io.shard.*` — including the resilience counters
-//! `io.shard.{verify_rewrites,quarantined,records_lost}` —
-//! `io.codec.*`, `io.sink.*` (drai-io), and the fault/retry layer's
-//! `io.fault.{injected,write_transient,write_permanent,read_transient,corrupted}`
-//! and `io.retry.{attempts,exhausted,backoff_ns}`.
+//! The metric namespace is a public interface: dashboards, the bench
+//! summarizer, and regression tests key on exact dotted names. Every
+//! family in use is registered in [`METRIC_FAMILIES`], and the
+//! `telemetry-names` rule of `drai-lint` checks both directions —
+//! every name emitted in code unifies with a registered family, and
+//! every registered family is emitted somewhere. To add a metric,
+//! add its family here and emit it in the same change.
+//!
+//! Producers: `pipeline.*` comes from drai-core; `io.{prefetch,shard,
+//! codec,sink}.*` from drai-io; `io.{fault,retry}.*` from the fault/
+//! retry layer; `*.ns` is the histogram every [`Span`] records on drop.
 //!
 //! ```
 //! use drai_telemetry::Registry;
@@ -31,11 +35,13 @@
 //! assert_eq!(snap.spans[0].items, 128);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::OnceLock;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -47,6 +53,94 @@ pub use export::write_criterion_estimates;
 /// `ilog2(v) == i` (bucket 0 also holds 0), so the range spans 1 ns to
 /// ~584 years.
 pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Registered metric families. Dotted patterns; a `*` segment stands
+/// for one or more name segments filled in at emission time (pipeline
+/// and stage names, codec ids, fault kinds).
+///
+/// This list is the contract between producers and consumers of the
+/// namespace, enforced by the `telemetry-names` lint rule: emitting an
+/// unregistered name or registering a never-emitted family both fail
+/// CI.
+pub const METRIC_FAMILIES: &[&str] = &[
+    // drai-core pipeline stages (counter, counter, counter, span histogram)
+    "pipeline.*.*.records",
+    "pipeline.*.*.bytes",
+    "pipeline.*.*.retries",
+    "pipeline.*.refinements",
+    // drai-io prefetch workers
+    "io.prefetch.items",
+    "io.prefetch.work_ns",
+    "io.prefetch.wait_ns",
+    "io.prefetch.reorder_depth",
+    // drai-io shard writer/reader, including the resilience counters
+    "io.shard.records",
+    "io.shard.bytes_in",
+    "io.shard.bytes_out",
+    "io.shard.encode_ns",
+    "io.shard.write_ns",
+    "io.shard.compression_permille",
+    "io.shard.verify_rewrites",
+    "io.shard.quarantined",
+    "io.shard.records_lost",
+    // drai-io codecs (per-codec id)
+    "io.codec.*.encode_ns",
+    "io.codec.*.decode_ns",
+    "io.codec.*.bytes_in",
+    "io.codec.*.bytes_out",
+    // drai-io sink
+    "io.sink.bytes_written",
+    "io.sink.files_written",
+    "io.sink.bytes_read",
+    "io.sink.fsync_ns",
+    "io.sink.dirsync_ns",
+    // fault injection
+    "io.fault.injected",
+    "io.fault.write_transient",
+    "io.fault.write_permanent",
+    "io.fault.read_transient",
+    "io.fault.corrupted",
+    // retry layer
+    "io.retry.attempts",
+    "io.retry.backoff_ns",
+    "io.retry.exhausted",
+    // every Span records `<span name>.ns` on drop
+    "*.ns",
+];
+
+/// Monotonic elapsed-time source.
+///
+/// This is the only sanctioned way for workspace code to read time:
+/// the `no-wallclock` lint rule confines `Instant::now`/
+/// `SystemTime::now` to this crate (and the retry layer's injectable
+/// clock) so timing stays behind one seam and data-plane behaviour
+/// never depends on the wall clock.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    #[inline]
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since [`Stopwatch::start`].
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX`.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
 
 /// Monotonically increasing event count.
 #[derive(Debug, Default)]
@@ -588,5 +682,33 @@ mod tests {
         assert!(snap.spans.is_empty());
         // Histogram created by the span drop is also gone.
         assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+        assert!(sw.elapsed() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn metric_families_are_well_formed() {
+        assert!(!METRIC_FAMILIES.is_empty());
+        for fam in METRIC_FAMILIES {
+            let segs: Vec<&str> = fam.split('.').collect();
+            assert!(segs.len() >= 2, "family `{fam}` needs >= 2 segments");
+            for seg in segs {
+                assert!(
+                    seg == "*"
+                        || (!seg.is_empty()
+                            && seg
+                                .chars()
+                                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')),
+                    "family `{fam}` has a bad segment `{seg}`"
+                );
+            }
+        }
     }
 }

@@ -48,7 +48,7 @@ impl Channel {
         if self.times.len() < 2 {
             return None;
         }
-        let span = self.times.last().expect("non-empty") - self.times[0];
+        let span = self.times[self.times.len() - 1] - self.times[0];
         if span <= 0.0 {
             return None;
         }
@@ -106,7 +106,7 @@ pub fn resample_to_clock(channel: &Channel, clock: &Clock) -> Result<Vec<f64>, T
     let mut seg = 0usize; // invariant: times[seg] <= t target when advanced
     for k in 0..clock.len {
         let t = clock.tick(k);
-        if times.is_empty() || t < times[0] || t > *times.last().expect("non-empty") {
+        if times.is_empty() || t < times[0] || t > times[times.len() - 1] {
             out.push(f64::NAN);
             continue;
         }
@@ -207,12 +207,12 @@ pub fn resample_profile(
     }
     let mut out = Vec::with_capacity(dst_x.len());
     for &x in dst_x {
-        if src_x.is_empty() || x < src_x[0] || x > *src_x.last().expect("non-empty") {
+        if src_x.is_empty() || x < src_x[0] || x > src_x[src_x.len() - 1] {
             out.push(f64::NAN);
             continue;
         }
         // Binary search for the containing segment.
-        let seg = match src_x.binary_search_by(|v| v.partial_cmp(&x).expect("no NaN mesh")) {
+        let seg = match src_x.binary_search_by(|v| v.total_cmp(&x)) {
             Ok(i) => {
                 out.push(src_y[i]);
                 continue;

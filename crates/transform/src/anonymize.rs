@@ -57,7 +57,7 @@ pub fn generalize_zip(zip: &str) -> String {
 pub fn date_shift_days(salt: &str, patient_id: &str, max_shift_days: u32) -> i64 {
     assert!(max_shift_days > 0, "shift range must be positive");
     let h = content_hash128(hash_identifier(salt, patient_id).as_bytes());
-    let raw = u64::from_le_bytes(h[..8].try_into().expect("8 bytes"));
+    let raw = u64::from_le_bytes([h[0], h[1], h[2], h[3], h[4], h[5], h[6], h[7]]);
     let span = (2 * max_shift_days + 1) as u64;
     (raw % span) as i64 - max_shift_days as i64
 }

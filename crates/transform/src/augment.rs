@@ -20,14 +20,16 @@ pub fn rotate90(field: &Tensor<f64>, quarters: u32) -> Result<Tensor<f64>, Trans
     let mut cur = field.clone();
     for _ in 0..quarters % 4 {
         let (h, w) = (cur.shape()[0], cur.shape()[1]);
-        let mut out = Tensor::<f64>::zeros(&[w, h]);
+        // Row-major index arithmetic: src[i][j] -> dst[j][h-1-i].
+        let src = cur.as_slice();
+        let mut dst = vec![0.0; w * h];
         for i in 0..h {
             for j in 0..w {
-                let v = cur.get(&[i, j]).expect("in range");
-                out.set(&[j, h - 1 - i], v).expect("in range");
+                dst[j * h + (h - 1 - i)] = src[i * w + j];
             }
         }
-        cur = out;
+        cur = Tensor::from_vec(dst, &[w, h])
+            .map_err(|e| TransformError::InvalidInput(e.to_string()))?;
     }
     Ok(cur)
 }
@@ -41,14 +43,14 @@ pub fn flip_horizontal(field: &Tensor<f64>) -> Result<Tensor<f64>, TransformErro
         )));
     }
     let (h, w) = (field.shape()[0], field.shape()[1]);
-    let mut out = Tensor::<f64>::zeros(&[h, w]);
+    let src = field.as_slice();
+    let mut dst = vec![0.0; h * w];
     for i in 0..h {
         for j in 0..w {
-            let v = field.get(&[i, j]).expect("in range");
-            out.set(&[i, w - 1 - j], v).expect("in range");
+            dst[i * w + (w - 1 - j)] = src[i * w + j];
         }
     }
-    Ok(out)
+    Tensor::from_vec(dst, &[h, w]).map_err(|e| TransformError::InvalidInput(e.to_string()))
 }
 
 /// Add zero-mean Gaussian noise with standard deviation `sigma`

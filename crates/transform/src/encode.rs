@@ -115,15 +115,19 @@ impl Alphabet {
     /// One-hot encode a sequence to `[len, alphabet]` f32 (Enformer
     /// layout). Unknown symbols (e.g. `N`) become all-zero rows.
     pub fn one_hot(&self, sequence: &str) -> Tensor<f32> {
+        self.one_hot_bytes(sequence.as_bytes())
+    }
+
+    fn one_hot_bytes(&self, bytes: &[u8]) -> Tensor<f32> {
         let k = self.len();
-        let bytes = sequence.as_bytes();
         let mut data = vec![0.0_f32; bytes.len() * k];
         for (row, &b) in bytes.iter().enumerate() {
             if let Some(i) = self.lookup[b as usize] {
                 data[row * k + i as usize] = 1.0;
             }
         }
-        Tensor::from_vec(data, &[bytes.len(), k]).expect("size by construction")
+        let rows = bytes.len();
+        Tensor::from_vec(data, &[rows, k]).unwrap_or_else(|_| Tensor::zeros(&[rows, k]))
     }
 
     /// Slice a long sequence into fixed-length tiles (final partial tile
@@ -134,7 +138,7 @@ impl Alphabet {
         sequence
             .as_bytes()
             .chunks_exact(tile_len)
-            .map(|tile| self.one_hot(std::str::from_utf8(tile).expect("ascii sequence")))
+            .map(|tile| self.one_hot_bytes(tile))
             .collect()
     }
 

@@ -64,7 +64,7 @@ pub fn impute(values: &mut [f64], strategy: Strategy) -> Result<usize, Transform
                 return Err(TransformError::CannotFit("all values missing".into()));
             }
             let mut finite: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
-            finite.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            finite.sort_by(|a, b| a.total_cmp(b));
             let median = if finite.len() % 2 == 1 {
                 finite[finite.len() / 2]
             } else {
@@ -80,11 +80,9 @@ pub fn impute(values: &mut [f64], strategy: Strategy) -> Result<usize, Transform
             if all_nan {
                 return Err(TransformError::CannotFit("all values missing".into()));
             }
-            let first_finite = values
-                .iter()
-                .copied()
-                .find(|v| !v.is_nan())
-                .expect("not all NaN");
+            let Some(first_finite) = values.iter().copied().find(|v| !v.is_nan()) else {
+                return Err(TransformError::CannotFit("all values missing".into()));
+            };
             let mut last = first_finite;
             for v in values.iter_mut() {
                 if v.is_nan() {
@@ -122,7 +120,10 @@ pub fn impute(values: &mut [f64], strategy: Strategy) -> Result<usize, Transform
                     }
                     (Some(l), None) => values[i..j].fill(l),
                     (None, Some(r)) => values[i..j].fill(r),
-                    (None, None) => unreachable!("not all NaN"),
+                    // Both neighbours missing can only mean the whole slice
+                    // is NaN, which the all-NaN guard rejected; leave the
+                    // gap as NaN rather than abort.
+                    (None, None) => values[i..j].fill(f64::NAN),
                 }
                 i = j;
             }

@@ -2,6 +2,8 @@
 //! MPMC channel with the `crossbeam::channel` API subset used by this
 //! workspace (`bounded`, cloneable `Sender`/`Receiver`, `RecvError`).
 
+#![forbid(unsafe_code)]
+
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;

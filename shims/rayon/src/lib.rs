@@ -9,6 +9,8 @@
 //! at the cost of intermediate allocations. Worker panics propagate to
 //! the caller, as in rayon.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -22,6 +22,8 @@
 //! assert_eq!(grade.overall, ReadinessLevel::FullyAiReady);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use drai_core as core;
 pub use drai_domains as domains;
 pub use drai_formats as formats;

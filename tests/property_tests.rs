@@ -84,7 +84,7 @@ proptest! {
             .filter(|(name, _)| seen.insert(name.clone()))
             .map(|(name, data)| ZipEntry { name, data })
             .collect();
-        let bytes = write_zip(&entries);
+        let bytes = write_zip(&entries).unwrap();
         prop_assert_eq!(read_zip(&bytes).unwrap(), entries);
     }
 
