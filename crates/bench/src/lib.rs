@@ -19,8 +19,16 @@
 //! Virtual-time experiments that criterion cannot measure (simulated
 //! stripe-count scaling on `drai-sim`) live in `src/bin/stripe_scaling.rs`,
 //! which prints its series directly.
+//!
+//! The trace-driven perf-regression gate lives in
+//! `src/bin/drai-bench-report.rs` (report model in [`report`]): it
+//! re-runs the same workloads at fixed reduced sizes under the
+//! hierarchical tracer and compares the committed `BENCH_<pr>.json`
+//! trajectory points (see DESIGN.md §8).
 
 #![forbid(unsafe_code)]
+
+pub mod report;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

@@ -1,0 +1,509 @@
+//! `BENCH_<pr>.json` report model for `drai-bench-report`.
+//!
+//! A report captures one run of the reduced-size benchmark suite: per
+//! bench, the wall time of its `bench.<name>` root span plus a
+//! per-stage breakdown aggregated from the trace tree ([`aggregate_by_name`]
+//! over the spans recorded under that root). Reports serialize to
+//! human-diffable pretty JSON, are committed at the repo root as
+//! `BENCH_<pr>.json`, and successive PRs compare against the latest
+//! prior file: [`compare`] flags any stage or wall time that regressed
+//! beyond a relative threshold (with an absolute floor so nanosecond
+//! noise on tiny stages never trips the gate), and [`delta_table`]
+//! renders the comparison as the readable table the gate prints before
+//! exiting nonzero.
+//!
+//! The schema is documented in EXPERIMENTS.md ("Bench-report trajectory").
+
+use drai_io::json::Json;
+use drai_telemetry::trace::{aggregate_by_name, build_forest};
+use drai_telemetry::SpanRecord;
+use std::path::{Path, PathBuf};
+
+/// Schema identifier written into every report.
+pub const FORMAT: &str = "drai-bench-report/v1";
+
+/// Relative slowdown below which a delta is never a regression.
+pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+/// Absolute floor: wall-time deltas under this many ns are noise.
+pub const MIN_WALL_DELTA_NS: u64 = 10_000_000;
+
+/// Absolute floor: per-stage deltas under this many ns are noise.
+pub const MIN_STAGE_DELTA_NS: u64 = 5_000_000;
+
+/// One named stage inside a bench, aggregated across the trace tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStat {
+    /// Span name (e.g. `pipeline.climate.regrid`).
+    pub name: String,
+    /// Summed subtree duration of all spans with this name.
+    pub total_ns: u64,
+    /// Summed self-time (total minus direct children).
+    pub self_ns: u64,
+    /// Number of spans with this name.
+    pub count: u64,
+}
+
+/// One bench's measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Bench name (`fig1_pipeline`, `table1_climate`, ...).
+    pub name: String,
+    /// Trace id of the `bench.<name>` root span.
+    pub trace: u64,
+    /// Duration of the root span.
+    pub wall_ns: u64,
+    /// Items attributed to the whole trace.
+    pub items: u64,
+    /// Bytes attributed to the whole trace.
+    pub bytes: u64,
+    /// Per-span-name breakdown, largest `total_ns` first. The
+    /// `bench.<name>` root itself is excluded (it *is* `wall_ns`).
+    pub stages: Vec<StageStat>,
+}
+
+impl BenchResult {
+    /// Build a result from the spans of one bench run. `spans` must
+    /// contain exactly one `bench.<name>` root; its trace supplies the
+    /// stage breakdown. Items/bytes are summed over the whole tree.
+    pub fn from_spans(name: &str, spans: &[SpanRecord]) -> Result<BenchResult, String> {
+        let forest = build_forest(spans);
+        let root_name = format!("bench.{name}");
+        let root = forest
+            .iter()
+            .find(|n| n.record.name == root_name)
+            .ok_or_else(|| format!("no `{root_name}` root span among {} spans", spans.len()))?;
+        let agg = aggregate_by_name(std::slice::from_ref(root));
+        let mut stages: Vec<StageStat> = agg
+            .iter()
+            .filter(|(n, _)| n.as_str() != root_name)
+            .map(|(n, a)| StageStat {
+                name: n.clone(),
+                total_ns: a.total_ns,
+                self_ns: a.self_ns,
+                count: a.count,
+            })
+            .collect();
+        stages.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        let (items, bytes) = agg
+            .values()
+            .fold((0u64, 0u64), |(i, b), a| (i + a.items, b + a.bytes));
+        Ok(BenchResult {
+            name: name.to_string(),
+            trace: root.record.trace.as_u64(),
+            wall_ns: root.record.dur_ns,
+            items,
+            bytes,
+            stages,
+        })
+    }
+
+    /// Items per second over the root span.
+    pub fn items_per_s(&self) -> f64 {
+        self.items as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Bytes per second over the root span.
+    pub fn bytes_per_s(&self) -> f64 {
+        self.bytes as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// A full `BENCH_<pr>.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// PR number the report belongs to (the `<pr>` in the filename).
+    pub pr: u64,
+    /// `"full"` or `"smoke"`; reports of different modes never compare.
+    pub mode: String,
+    /// One entry per bench, suite order.
+    pub benches: Vec<BenchResult>,
+}
+
+impl Report {
+    /// Serialize as pretty JSON (2-space indent, stable key order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"format\": \"{FORMAT}\",\n"));
+        s.push_str(&format!("  \"pr\": {},\n", self.pr));
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str("  \"benches\": [\n");
+        for (bi, b) in self.benches.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"name\": \"{}\",\n", b.name));
+            s.push_str(&format!("      \"trace\": {},\n", b.trace));
+            s.push_str(&format!("      \"wall_ns\": {},\n", b.wall_ns));
+            s.push_str(&format!("      \"items\": {},\n", b.items));
+            s.push_str(&format!("      \"bytes\": {},\n", b.bytes));
+            s.push_str(&format!("      \"items_per_s\": {:.1},\n", b.items_per_s()));
+            s.push_str(&format!("      \"bytes_per_s\": {:.1},\n", b.bytes_per_s()));
+            s.push_str("      \"stages\": [\n");
+            for (si, st) in b.stages.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"name\": \"{}\", \"total_ns\": {}, \"self_ns\": {}, \"count\": {}}}{}\n",
+                    st.name,
+                    st.total_ns,
+                    st.self_ns,
+                    st.count,
+                    if si + 1 < b.stages.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ]\n");
+            s.push_str(&format!(
+                "    }}{}\n",
+                if bi + 1 < self.benches.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse a report; tolerates unknown extra keys, rejects other formats.
+    pub fn parse(text: &str) -> Result<Report, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let format = v.get("format").and_then(Json::as_str).unwrap_or("");
+        if format != FORMAT {
+            return Err(format!("unsupported format `{format}` (want `{FORMAT}`)"));
+        }
+        let get_u64 = |v: &Json, k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-integer `{k}`"))
+        };
+        let pr = get_u64(&v, "pr")?;
+        let mode = v
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or("missing `mode`")?
+            .to_string();
+        let mut benches = Vec::new();
+        for b in v.get("benches").and_then(Json::as_arr).unwrap_or(&[]) {
+            let name = b
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("bench missing `name`")?
+                .to_string();
+            let mut stages = Vec::new();
+            for st in b.get("stages").and_then(Json::as_arr).unwrap_or(&[]) {
+                stages.push(StageStat {
+                    name: st
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("stage missing `name`")?
+                        .to_string(),
+                    total_ns: get_u64(st, "total_ns")?,
+                    self_ns: get_u64(st, "self_ns")?,
+                    count: get_u64(st, "count")?,
+                });
+            }
+            benches.push(BenchResult {
+                name,
+                trace: get_u64(b, "trace")?,
+                wall_ns: get_u64(b, "wall_ns")?,
+                items: get_u64(b, "items")?,
+                bytes: get_u64(b, "bytes")?,
+                stages,
+            });
+        }
+        Ok(Report { pr, mode, benches })
+    }
+}
+
+/// One measured delta between a baseline and a current report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Bench the delta belongs to.
+    pub bench: String,
+    /// Stage name, or `None` for the bench's wall time.
+    pub stage: Option<String>,
+    /// Baseline duration.
+    pub baseline_ns: u64,
+    /// Current duration.
+    pub current_ns: u64,
+}
+
+impl Delta {
+    /// current/baseline − 1 (positive = slower).
+    pub fn ratio(&self) -> f64 {
+        self.current_ns as f64 / self.baseline_ns.max(1) as f64 - 1.0
+    }
+
+    /// True when this delta trips the gate at `threshold`.
+    pub fn is_regression(&self, threshold: f64) -> bool {
+        let floor = if self.stage.is_some() {
+            MIN_STAGE_DELTA_NS
+        } else {
+            MIN_WALL_DELTA_NS
+        };
+        self.current_ns > self.baseline_ns.saturating_add(floor) && self.ratio() > threshold
+    }
+}
+
+/// Result of comparing two reports.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Every matched (bench, stage) pair, suite order, wall first.
+    pub deltas: Vec<Delta>,
+    /// Reason the comparison was skipped entirely, if it was.
+    pub skipped: Option<String>,
+}
+
+impl Comparison {
+    /// Deltas that trip the gate at `threshold`.
+    pub fn regressions(&self, threshold: f64) -> Vec<&Delta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.is_regression(threshold))
+            .collect()
+    }
+}
+
+/// Compare `current` against `baseline`. Benches and stages are matched
+/// by name; entries present on only one side are ignored (stage sets
+/// legitimately drift across PRs). Reports of different modes (smoke vs
+/// full) are incomparable and yield a skipped comparison.
+pub fn compare(baseline: &Report, current: &Report) -> Comparison {
+    if baseline.mode != current.mode {
+        return Comparison {
+            deltas: Vec::new(),
+            skipped: Some(format!(
+                "baseline mode `{}` != current mode `{}`",
+                baseline.mode, current.mode
+            )),
+        };
+    }
+    let mut deltas = Vec::new();
+    for cur in &current.benches {
+        let Some(base) = baseline.benches.iter().find(|b| b.name == cur.name) else {
+            continue;
+        };
+        deltas.push(Delta {
+            bench: cur.name.clone(),
+            stage: None,
+            baseline_ns: base.wall_ns,
+            current_ns: cur.wall_ns,
+        });
+        for st in &cur.stages {
+            let Some(bst) = base.stages.iter().find(|s| s.name == st.name) else {
+                continue;
+            };
+            deltas.push(Delta {
+                bench: cur.name.clone(),
+                stage: Some(st.name.clone()),
+                baseline_ns: bst.total_ns,
+                current_ns: st.total_ns,
+            });
+        }
+    }
+    Comparison {
+        deltas,
+        skipped: None,
+    }
+}
+
+/// Render a comparison as an aligned delta table. Regressions at
+/// `threshold` are marked `REGRESSION`; everything else `ok`.
+pub fn delta_table(cmp: &Comparison, threshold: f64) -> String {
+    if let Some(reason) = &cmp.skipped {
+        return format!("comparison skipped: {reason}\n");
+    }
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut rows: Vec<[String; 5]> = vec![[
+        "bench / stage".into(),
+        "baseline ms".into(),
+        "current ms".into(),
+        "delta".into(),
+        "verdict".into(),
+    ]];
+    for d in &cmp.deltas {
+        let label = match &d.stage {
+            None => d.bench.clone(),
+            Some(s) => format!("{}  {s}", d.bench),
+        };
+        rows.push([
+            label,
+            format!("{:.3}", ms(d.baseline_ns)),
+            format!("{:.3}", ms(d.current_ns)),
+            format!("{:+.1}%", d.ratio() * 100.0),
+            if d.is_regression(threshold) {
+                "REGRESSION".into()
+            } else {
+                "ok".into()
+            },
+        ]);
+    }
+    let widths: Vec<usize> = (0..5)
+        .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+        .collect();
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let line = format!(
+            "{:<w0$}  {:>w1$}  {:>w2$}  {:>w3$}  {:<w4$}",
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4],
+            w0 = widths[0],
+            w1 = widths[1],
+            w2 = widths[2],
+            w3 = widths[3],
+            w4 = widths[4],
+        );
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if i == 0 {
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 8));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Find the latest prior `BENCH_<n>.json` (largest `n < pr`) in `dir`.
+pub fn find_baseline(dir: &Path, pr: u64) -> Option<(u64, PathBuf)> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(num) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let Ok(n) = num.parse::<u64>() else { continue };
+        if n < pr && best.as_ref().is_none_or(|(b, _)| n > *b) {
+            best = Some((n, entry.path()));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drai_telemetry::{Registry, TraceContext};
+
+    fn sample_report(wall: u64, regrid: u64) -> Report {
+        Report {
+            pr: 3,
+            mode: "full".into(),
+            benches: vec![BenchResult {
+                name: "table1_climate".into(),
+                trace: 1,
+                wall_ns: wall,
+                items: 1000,
+                bytes: 8000,
+                stages: vec![
+                    StageStat {
+                        name: "pipeline.climate.regrid".into(),
+                        total_ns: regrid,
+                        self_ns: regrid,
+                        count: 1,
+                    },
+                    StageStat {
+                        name: "io.shard.write_all".into(),
+                        total_ns: 40_000_000,
+                        self_ns: 40_000_000,
+                        count: 1,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report(200_000_000, 100_000_000);
+        let parsed = Report::parse(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn parse_rejects_other_formats() {
+        assert!(Report::parse("{\"format\": \"other/v9\"}").is_err());
+        assert!(Report::parse("not json").is_err());
+    }
+
+    #[test]
+    fn from_spans_derives_stages_from_the_trace() {
+        let registry = Registry::new();
+        let _scope = TraceContext::root(&registry).attach();
+        {
+            let root = registry.span("bench.demo");
+            let _in_root = root.enter();
+            root.add_items(10);
+            root.add_bytes(100);
+            let stage = registry.span("pipeline.demo.clean");
+            let _in_stage = stage.enter();
+        }
+        let snap = registry.snapshot();
+        let result = BenchResult::from_spans("demo", &snap.spans).unwrap();
+        assert_eq!(result.items, 10);
+        assert_eq!(result.bytes, 100);
+        assert_eq!(result.stages.len(), 1);
+        assert_eq!(result.stages[0].name, "pipeline.demo.clean");
+        assert!(result.wall_ns >= result.stages[0].total_ns);
+        assert!(BenchResult::from_spans("absent", &snap.spans).is_err());
+    }
+
+    #[test]
+    fn injected_regression_is_detected_and_noise_is_not() {
+        let baseline = sample_report(200_000_000, 100_000_000);
+        // 2.5x slower regrid, wall follows: clear regression at 0.5.
+        let slow = sample_report(400_000_000, 250_000_000);
+        let cmp = compare(&baseline, &slow);
+        let regs = cmp.regressions(DEFAULT_THRESHOLD);
+        assert_eq!(regs.len(), 2, "{regs:?}");
+        assert!(regs.iter().any(|d| d.stage.is_none()));
+        assert!(regs
+            .iter()
+            .any(|d| d.stage.as_deref() == Some("pipeline.climate.regrid")));
+        // Small absolute wobble on a big ratio stays under the floor.
+        let mut noisy = sample_report(201_000_000, 101_000_000);
+        noisy.benches[0].stages[0].total_ns = 101_000_000;
+        let cmp = compare(&baseline, &noisy);
+        assert!(cmp.regressions(DEFAULT_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn mode_mismatch_skips_comparison() {
+        let baseline = sample_report(200_000_000, 100_000_000);
+        let mut smoke = sample_report(400_000_000, 300_000_000);
+        smoke.mode = "smoke".into();
+        let cmp = compare(&baseline, &smoke);
+        assert!(cmp.skipped.is_some());
+        assert!(cmp.regressions(DEFAULT_THRESHOLD).is_empty());
+        assert!(delta_table(&cmp, DEFAULT_THRESHOLD).contains("skipped"));
+    }
+
+    #[test]
+    fn delta_table_is_aligned_and_marks_regressions() {
+        let baseline = sample_report(200_000_000, 100_000_000);
+        let slow = sample_report(400_000_000, 250_000_000);
+        let table = delta_table(&compare(&baseline, &slow), DEFAULT_THRESHOLD);
+        assert!(table.contains("bench / stage"));
+        assert!(table.contains("REGRESSION"));
+        assert!(table.contains("+100.0%"));
+        assert!(table.lines().any(|l| l.trim_end().ends_with("ok")));
+    }
+
+    #[test]
+    fn find_baseline_picks_latest_prior() {
+        let dir = std::env::temp_dir().join(format!("drai-bench-base-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for n in [1u64, 3, 4, 7] {
+            std::fs::write(dir.join(format!("BENCH_{n}.json")), "{}").unwrap();
+        }
+        std::fs::write(dir.join("BENCH_x.json"), "{}").unwrap();
+        let (n, path) = find_baseline(&dir, 4).unwrap();
+        assert_eq!(n, 3);
+        assert!(path.ends_with("BENCH_3.json"));
+        assert_eq!(find_baseline(&dir, 1), None);
+        assert_eq!(find_baseline(&dir, 8).unwrap().0, 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

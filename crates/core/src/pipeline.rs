@@ -3,18 +3,22 @@
 //! refinement loop of Figure 1 ("data preparation outcomes inform
 //! subsequent model training, and model performance provides feedback").
 //!
-//! Every run also reports into the process-wide telemetry registry
-//! (`drai_telemetry::Registry::global`): `run` emits one span per stage
-//! named `pipeline.<pipeline>.<stage>` carrying the stage's record/byte
-//! counters, `run_batch` emits a `pipeline.<pipeline>.run_batch` span
-//! plus merged per-stage counters and latency histograms, and
-//! `run_iterative` wraps the whole feedback loop in a span whose item
-//! count is the number of passes.
+//! Every run also reports into the context registry
+//! (`drai_telemetry::Registry::current`, falling back to the global
+//! one): `run` emits a root `pipeline.<pipeline>.run` span containing
+//! one span per stage named `pipeline.<pipeline>.<stage>` carrying the
+//! stage's record/byte counters, `run_batch` emits a
+//! `pipeline.<pipeline>.run_batch` span plus merged per-stage counters
+//! and latency histograms, and `run_iterative` wraps the whole
+//! feedback loop in a span whose item count is the number of passes.
+//! Stage spans are *entered* while the stage function runs, so spans
+//! opened by the I/O layer inside a stage (shard writes, prefetch
+//! workers, retries) attach under that stage in the trace tree.
 
 use crate::metrics::Throughput;
 use crate::readiness::ProcessingStage;
 use crate::CoreError;
-use drai_telemetry::{Registry, Stopwatch};
+use drai_telemetry::{Registry, Span, Stopwatch};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -144,7 +148,7 @@ impl<T: Clone + 'static> PipelineBuilder<T> {
                     Err(e) => {
                         last_err = e;
                         if attempt + 1 < max_attempts {
-                            Registry::global()
+                            Registry::current()
                                 .counter(&format!("pipeline.{pipeline_name}.{stage_name}.retries"))
                                 .incr();
                         }
@@ -218,14 +222,24 @@ impl<T> Pipeline<T> {
     }
 
     fn run_inner(&self, input: T, telemetry: bool) -> Result<PipelineRun<T>, CoreError> {
-        let registry = Registry::global();
+        let registry = Registry::current();
+        // Root span for the whole run; stage spans nest under it, and
+        // it in turn nests under whatever context the caller entered
+        // (e.g. a domain's `domain.<name>.run`).
+        let run_span = telemetry.then(|| registry.span(format!("pipeline.{}.run", self.name)));
+        let _in_run = run_span.as_ref().map(Span::enter);
         let mut current = input;
         let mut metrics = Vec::with_capacity(self.stages.len());
         for stage in &self.stages {
             let span = telemetry.then(|| registry.span(self.stage_metric(&stage.name)));
             let start = Stopwatch::start();
             let mut counters = StageCounters::default();
-            current = (stage.func)(current, &mut counters).map_err(|message| CoreError::Stage {
+            // Entered while the stage function runs so I/O-layer spans
+            // opened inside it parent under this stage.
+            let in_stage = span.as_ref().map(Span::enter);
+            let result = (stage.func)(current, &mut counters);
+            drop(in_stage);
+            current = result.map_err(|message| CoreError::Stage {
                 stage: stage.name.clone(),
                 message,
             })?;
@@ -268,9 +282,10 @@ impl<T: Send> Pipeline<T> {
     /// per-item spans are suppressed so large batches don't flood the
     /// span log.
     pub fn run_batch(&self, items: Vec<T>) -> Result<(Vec<T>, Vec<StageMetrics>), CoreError> {
-        let registry = Registry::global();
+        let registry = Registry::current();
         let batch_span = registry.span(format!("pipeline.{}.run_batch", self.name));
         batch_span.add_items(items.len() as u64);
+        let _in_batch = batch_span.enter();
         let results: Result<Vec<PipelineRun<T>>, CoreError> = items
             .into_par_iter()
             .map(|item| self.run_inner(item, false))
@@ -341,9 +356,12 @@ pub fn run_iterative<T>(
     mut refine: impl FnMut(T, &str) -> T,
 ) -> Result<IterativeRun<T>, CoreError> {
     assert!(max_passes > 0, "need at least one pass");
-    let registry = Registry::global();
+    let registry = Registry::current();
     let loop_span = registry.span(format!("pipeline.{}.run_iterative", pipeline.name));
     let refine_counter = registry.counter(&format!("pipeline.{}.refinements", pipeline.name));
+    // Entered so each pass's `pipeline.<name>.run` span nests under
+    // the loop span.
+    let _in_loop = loop_span.enter();
     let mut current = input;
     let mut refinements = Vec::new();
     let mut pass = 0;
@@ -519,6 +537,27 @@ mod tests {
         assert_eq!(spans[0].bytes, 256);
         assert_eq!(snap.counters["pipeline.telem-unit.count.records"], 32);
         assert!(snap.histograms.contains_key("pipeline.telem-unit.count.ns"));
+    }
+
+    #[test]
+    fn run_spans_form_a_tree_in_the_callers_registry() {
+        use drai_telemetry::{Registry, TraceContext};
+        let reg = Registry::new();
+        let p = doubling_pipeline();
+        TraceContext::root(&reg).scope(|| {
+            p.run(vec![1.0, 2.0]).unwrap();
+        });
+        let snap = reg.snapshot();
+        let run = snap.spans_named("pipeline.test.run");
+        assert_eq!(run.len(), 1, "one root run span");
+        for stage in ["ingest", "double"] {
+            let spans = snap.spans_named(&format!("pipeline.test.{stage}"));
+            assert_eq!(spans.len(), 1);
+            assert_eq!(spans[0].parent, Some(run[0].id), "{stage} not under run");
+            assert_eq!(spans[0].trace, run[0].trace);
+        }
+        // Counters landed in the private registry, not the global one.
+        assert_eq!(snap.counters["pipeline.test.double.records"], 2);
     }
 
     #[test]

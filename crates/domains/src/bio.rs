@@ -420,7 +420,9 @@ pub fn open_secure_shard(
 
 /// Run the complete bio archetype.
 pub fn run(cfg: &BioConfig, sink: Arc<dyn StorageSink>) -> Result<DomainRun, DomainError> {
-    let run_span = drai_telemetry::Registry::global().span("domain.bio.run");
+    let registry = drai_telemetry::Registry::current();
+    let run_span = registry.span("domain.bio.run");
+    let _in_run = run_span.enter();
     generate_raw(cfg, sink.as_ref())?;
     let ledger = Arc::new(Ledger::new());
     let input = ingest(cfg, sink.as_ref())?;

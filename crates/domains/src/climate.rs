@@ -21,6 +21,7 @@ use drai_core::readiness::ProcessingStage as S;
 use drai_formats::netcdf::{NcAttr, NcDim, NcFile, NcValues, NcVar};
 use drai_formats::npy::write_npy;
 use drai_formats::zip::{write_zip, ZipEntry};
+use drai_io::parallel::prefetch_map;
 use drai_io::shard::{ShardSpec, ShardWriter};
 use drai_io::sink::StorageSink;
 use drai_provenance::{Artifact, Ledger};
@@ -463,28 +464,56 @@ pub fn build_pipeline(
 
 /// Run the complete climate archetype: generate raw NetCDF, execute the
 /// pipeline, and return the graded manifest.
+/// One prefetched raw variable: (blob name, raw bytes, decoded field).
+type ParsedVar = Result<(String, Vec<u8>, Vec<f64>), DomainError>;
+
 pub fn run(cfg: &ClimateConfig, sink: Arc<dyn StorageSink>) -> Result<DomainRun, DomainError> {
-    let run_span = drai_telemetry::Registry::global().span("domain.climate.run");
+    let registry = drai_telemetry::Registry::current();
+    let run_span = registry.span("domain.climate.run");
+    let _in_run = run_span.enter();
     // "Download" (synthesize) + parse — the ingest half happens outside
     // the timed pipeline stages only as far as synthesis; parsing is the
     // ingest stage's work, done here so stage 1 receives parsed fields.
     let raw_names = generate_raw(cfg, sink.as_ref())?;
     let ledger = Arc::new(Ledger::new());
-    let mut fields = Vec::with_capacity(VARIABLES.len());
-    for (name_idx, blob) in raw_names.iter().enumerate() {
-        let bytes = sink.read_file(blob)?;
-        ledger.record(
-            "ingest",
-            [("file".to_string(), blob.clone())],
-            vec![Artifact::new(blob, &bytes)],
-            vec![],
-        );
-        let nc = NcFile::from_bytes(&bytes)?;
-        let var = nc
-            .var(VARIABLES[name_idx].0)
-            .ok_or_else(|| DomainError::Config(format!("missing variable in {blob}")))?;
-        fields.push(var.data.to_f64_vec());
-    }
+    // Read + parse the raw files through the prefetch pool: the
+    // variables decode concurrently, and worker telemetry parents under
+    // the ingest span via the captured trace context. Results come back
+    // in input order, so the ledger sees ingests in the same order as
+    // the sequential loop this replaces.
+    let fields = {
+        let ingest_span = registry.span("domain.climate.ingest");
+        let _in_ingest = ingest_span.enter();
+        let parse_sink = sink.clone();
+        let parsed: Vec<ParsedVar> = prefetch_map(
+            raw_names.iter().cloned().enumerate().collect(),
+            2,
+            2,
+            move |(name_idx, blob): (usize, String)| {
+                let bytes = parse_sink.read_file(&blob)?;
+                let nc = NcFile::from_bytes(&bytes)?;
+                let var = nc
+                    .var(VARIABLES[name_idx].0)
+                    .ok_or_else(|| DomainError::Config(format!("missing variable in {blob}")))?;
+                Ok((blob, bytes, var.data.to_f64_vec()))
+            },
+        )
+        .collect();
+        let mut fields = Vec::with_capacity(parsed.len());
+        for item in parsed {
+            let (blob, bytes, data) = item?;
+            ingest_span.add_bytes(bytes.len() as u64);
+            ledger.record(
+                "ingest",
+                [("file".to_string(), blob.clone())],
+                vec![Artifact::new(&blob, &bytes)],
+                vec![],
+            );
+            fields.push(data);
+        }
+        ingest_span.add_items(fields.len() as u64);
+        fields
+    };
 
     let pipeline = build_pipeline(cfg, sink.clone(), ledger.clone());
     let input = ClimateData {

@@ -525,7 +525,9 @@ pub fn pseudo_label_windows(
 
 /// Run the complete fusion archetype.
 pub fn run(cfg: &FusionConfig, sink: Arc<dyn StorageSink>) -> Result<DomainRun, DomainError> {
-    let run_span = drai_telemetry::Registry::global().span("domain.fusion.run");
+    let registry = drai_telemetry::Registry::current();
+    let run_span = registry.span("domain.fusion.run");
+    let _in_run = run_span.enter();
     let store = ShotStore::generate(cfg);
     let ledger = Arc::new(Ledger::new());
     let pipeline = build_pipeline(cfg, sink.clone(), ledger.clone());

@@ -471,7 +471,9 @@ pub fn build_pipeline(
 
 /// Run the complete materials archetype.
 pub fn run(cfg: &MaterialsConfig, sink: Arc<dyn StorageSink>) -> Result<DomainRun, DomainError> {
-    let run_span = drai_telemetry::Registry::global().span("domain.materials.run");
+    let registry = drai_telemetry::Registry::current();
+    let run_span = registry.span("domain.materials.run");
+    let _in_run = run_span.enter();
     generate_raw(cfg, sink.as_ref())?;
     let raw = sink.read_file("raw/structures.xyz")?;
     let ledger = Arc::new(Ledger::new());

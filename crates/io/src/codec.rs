@@ -153,7 +153,8 @@ pub trait Codec: Send + Sync {
 }
 
 /// Construct the codec implementation for an id, instrumented so every
-/// encode/decode feeds the global telemetry registry:
+/// encode/decode feeds the telemetry registry current at construction
+/// time (the caller's context registry, else the global one):
 /// `io.codec.<name>.{encode_ns,decode_ns}` latency histograms and
 /// `io.codec.<name>.{bytes_in,bytes_out}` counters (encode direction).
 /// Metric handles are resolved once here, so the per-call cost is a
@@ -167,7 +168,7 @@ pub fn codec_for(id: CodecId) -> Box<dyn Codec> {
         }),
         CodecId::Lz => Box::new(LzCodec::default()),
     };
-    let registry = drai_telemetry::Registry::global();
+    let registry = drai_telemetry::Registry::current();
     let name = id.name();
     Box::new(InstrumentedCodec {
         encode_ns: registry.histogram(&format!("io.codec.{name}.encode_ns")),

@@ -161,7 +161,7 @@ impl<S: StorageSink> FaultSink<S> {
     }
 
     fn count(kind: &str) {
-        let registry = Registry::global();
+        let registry = Registry::current();
         registry.counter("io.fault.injected").incr();
         registry.counter(&format!("io.fault.{kind}")).incr();
     }

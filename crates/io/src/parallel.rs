@@ -9,14 +9,19 @@
 //! downstream rely on for reproducible epochs.
 
 //!
-//! Telemetry: each [`prefetch_map`] pool reports into the global
-//! registry — `io.prefetch.items` (completed items), `io.prefetch.work_ns`
-//! (per-item execution latency, measured on the worker), `io.prefetch.wait_ns`
-//! (time the consumer blocked waiting for the next in-order item), and the
-//! `io.prefetch.reorder_depth` gauge (reorder-buffer high-water mark).
+//! Telemetry: each [`prefetch_map`] pool reports into the *caller's*
+//! registry — the [`TraceContext`] current when `prefetch_map` is called is
+//! captured and attached inside every worker, so metrics land in the same
+//! registry as the caller's (private registries included) and each worker's
+//! `io.prefetch.worker` span parents under the calling stage's span
+//! regardless of scheduling. Metrics: `io.prefetch.items` (completed items),
+//! `io.prefetch.work_ns` (per-item execution latency, measured on the
+//! worker), `io.prefetch.wait_ns` (time the consumer blocked waiting for the
+//! next in-order item), and the `io.prefetch.reorder_depth` gauge
+//! (reorder-buffer high-water mark).
 
 use crossbeam::channel::{bounded, Receiver};
-use drai_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch};
+use drai_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch, TraceContext};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -45,8 +50,12 @@ where
     let (work_tx, work_rx) = bounded::<(usize, T)>(workers * 2);
     let (done_tx, done_rx) = bounded::<(usize, thread::Result<U>)>(workers * queue_cap);
 
-    // Metric handles resolved once so the per-item path is atomics only.
-    let registry = Registry::global();
+    // Capture the caller's trace context at closure-creation time and
+    // resolve metric handles from *its* registry (falling back to the
+    // global one), so the per-item path is atomics only and worker
+    // telemetry follows the caller — not a hard-wired global.
+    let context = TraceContext::current();
+    let registry = Registry::current();
     let work_hist = registry.histogram("io.prefetch.work_ns");
 
     // Feeder thread: enumerate work items.
@@ -65,11 +74,20 @@ where
         let done_tx = done_tx.clone();
         let f = f.clone();
         let work_hist = work_hist.clone();
+        let context = context.clone();
+        let registry = registry.clone();
         pool.push(thread::spawn(move || {
+            // Attach the captured context for the worker's lifetime: one
+            // `io.prefetch.worker` span per worker thread, deterministically
+            // parented under the span the caller had entered.
+            let _attached = context.as_ref().map(TraceContext::attach);
+            let worker_span = registry.span("io.prefetch.worker");
+            let _in_worker = worker_span.enter();
             while let Ok((idx, item)) = work_rx.recv() {
                 let start = Stopwatch::start();
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)));
                 work_hist.record(start.elapsed_ns());
+                worker_span.add_items(1);
                 if done_tx.send((idx, result)).is_err() {
                     break;
                 }
@@ -292,6 +310,31 @@ mod tests {
             x
         })
         .collect();
+    }
+
+    #[test]
+    fn worker_telemetry_follows_callers_registry() {
+        let reg = Registry::new();
+        let stage_id = {
+            let root = TraceContext::root(&reg);
+            let _attached = root.attach();
+            let stage = reg.span("stage.load");
+            let _in_stage = stage.enter();
+            let out: Vec<u64> = prefetch_map((0..50u64).collect(), 3, 2, |x| x + 1).collect();
+            assert_eq!(out.len(), 50);
+            stage.id()
+        };
+        let snap = reg.snapshot();
+        // Worker metrics landed in the private registry, not the global.
+        assert_eq!(snap.counters["io.prefetch.items"], 50);
+        assert!(snap.histograms["io.prefetch.work_ns"].count >= 50);
+        // One span per worker, each parented under the calling stage.
+        let workers = snap.spans_named("io.prefetch.worker");
+        assert_eq!(workers.len(), 3);
+        assert_eq!(workers.iter().map(|w| w.items).sum::<u64>(), 50);
+        for w in workers {
+            assert_eq!(w.parent, Some(stage_id), "worker span not under stage");
+        }
     }
 
     #[test]

@@ -148,7 +148,7 @@ impl<S: StorageSink> RetrySink<S> {
     }
 
     fn retrying<T>(&self, mut op: impl FnMut() -> Result<T, IoError>) -> Result<T, IoError> {
-        let registry = Registry::global();
+        let registry = Registry::current();
         let mut retry_index = 0u32;
         loop {
             match op() {

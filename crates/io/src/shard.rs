@@ -233,8 +233,12 @@ impl<'a> ShardWriter<'a> {
         R: IntoIterator,
         R::Item: AsRef<[u8]> + Send + Sync,
     {
-        let registry = Registry::global();
+        let registry = Registry::current();
         let span = registry.span("io.shard.write_all");
+        // Entered for the whole write so nested sink/codec telemetry
+        // (and the parallel writers below, via explicit handoff)
+        // attaches under this span.
+        let _in_write_all = span.enter();
         let records: Vec<R::Item> = records.into_iter().collect();
         let payload_bytes: u64 = records.iter().map(|r| r.as_ref().len() as u64).sum();
         span.add_items(records.len() as u64);
@@ -274,13 +278,19 @@ impl<'a> ShardWriter<'a> {
         }
 
         // Assemble and write shards in parallel; infos keep group order.
+        // The span's context is captured here (closure creation) and
+        // attached inside each rayon task so sink writes and verify
+        // rewrites report into the caller's registry under this span,
+        // whatever thread rayon runs them on.
         let spec = &self.spec;
         let sink = self.sink;
+        let write_ctx = span.context();
         let write_start = Stopwatch::start();
         let infos: Vec<Result<ShardInfo, IoError>> = groups
             .par_iter()
             .enumerate()
             .map(|(idx, &(s, e))| {
+                let _attached = write_ctx.attach();
                 let mut buf = Vec::with_capacity(
                     12 + encoded[s..e]
                         .iter()
@@ -361,7 +371,7 @@ fn verify_written(
     digest: u32,
     buf: &[u8],
 ) -> Result<(), IoError> {
-    let registry = Registry::global();
+    let registry = Registry::current();
     for attempt in 0..=VERIFY_REWRITES {
         let ok = match sink.read_file(name) {
             Ok(back) => crc32c(&back) == digest,
@@ -473,11 +483,16 @@ impl<'a> ShardReader<'a> {
     /// corrupt record count cannot force a giant allocation before the
     /// per-shard CRC checks run.
     pub fn read_all(&self) -> Result<Vec<Vec<u8>>, IoError> {
+        let registry = Registry::current();
+        let span = registry.span("io.shard.read_all");
+        let _in_read = span.enter();
         let mut out =
             Vec::with_capacity((self.manifest.total_records as usize).min(MAX_PREALLOC_RECORDS));
         for i in 0..self.manifest.shards.len() {
             out.extend(self.read_shard(i)?);
         }
+        span.add_items(out.len() as u64);
+        span.add_bytes(out.iter().map(|r| r.len() as u64).sum());
         Ok(out)
     }
 
@@ -495,7 +510,7 @@ impl<'a> ShardReader<'a> {
     /// Telemetry: `io.shard.quarantined` counts quarantined shards and
     /// `io.shard.records_lost` the unrecovered records.
     pub fn read_all_recovering(&self) -> RecoveredRead {
-        let registry = Registry::global();
+        let registry = Registry::current();
         let mut records =
             Vec::with_capacity((self.manifest.total_records as usize).min(MAX_PREALLOC_RECORDS));
         let mut damage = DamageReport::default();

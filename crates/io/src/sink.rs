@@ -28,13 +28,13 @@ use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 fn count_write(bytes: usize) {
-    let registry = Registry::global();
+    let registry = Registry::current();
     registry.counter("io.sink.bytes_written").add(bytes as u64);
     registry.counter("io.sink.files_written").incr();
 }
 
 fn count_read(bytes: usize) {
-    Registry::global()
+    Registry::current()
         .counter("io.sink.bytes_read")
         .add(bytes as u64);
 }
@@ -140,7 +140,7 @@ impl StorageSink for LocalFs {
                 f.write_all(data)?;
                 let fsync_start = Stopwatch::start();
                 f.sync_all()?;
-                Registry::global()
+                Registry::current()
                     .histogram("io.sink.fsync_ns")
                     .record(fsync_start.elapsed_ns());
             }
@@ -159,7 +159,7 @@ impl StorageSink for LocalFs {
         if let Some(parent) = path.parent() {
             let dirsync_start = Stopwatch::start();
             fs::File::open(parent)?.sync_all()?;
-            Registry::global()
+            Registry::current()
                 .histogram("io.sink.dirsync_ns")
                 .record(dirsync_start.elapsed_ns());
         }

@@ -11,6 +11,11 @@
 //! where each `{...}` hole becomes a `*` wildcard matching one or more
 //! segments). Names built through opaque variables cannot be checked
 //! and are skipped — keep templates inline where possible.
+//!
+//! Span names (`reg.span(...)` / `reg.time(...)`) are part of the same
+//! namespace — trace trees, the bench-report stage breakdown, and the
+//! Chrome/flamegraph exporters key on them — so they are held to the
+//! identical grammar and registration requirements.
 
 use crate::lexer::{LexFile, Tok};
 use crate::{FileClass, Finding, MetricFamily, SourceFile, Workspace};
@@ -24,7 +29,7 @@ pub const REGISTRY_FILE: &str = "crates/telemetry/src/lib.rs";
 /// Registry constant name inside [`REGISTRY_FILE`].
 pub const REGISTRY_CONST: &str = "METRIC_FAMILIES";
 
-const METRIC_METHODS: &[&str] = &["counter", "gauge", "histogram"];
+const METRIC_METHODS: &[&str] = &["counter", "gauge", "histogram", "span", "time"];
 
 /// One metric-name use site.
 #[derive(Debug, Clone)]
@@ -367,6 +372,38 @@ mod tests {
         .is_empty());
         let f = run_file("crates/io/src/x.rs", src, &["io.retry.attempts"]);
         assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn span_names_are_held_to_the_same_grammar_and_registry() {
+        let good = r#"fn f(r: &Registry) { let _s = r.span("io.shard.write_all"); }"#;
+        assert!(run_file("crates/io/src/x.rs", good, &["io.shard.write_all"]).is_empty());
+
+        let unregistered = r#"fn f(r: &Registry) { let _s = r.span("io.shard.mystery"); }"#;
+        let f = run_file("crates/io/src/x.rs", unregistered, &["io.shard.write_all"]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("not registered"));
+
+        let bad_grammar = r#"fn f(r: &Registry) { r.time("Bad.Span", || ()); }"#;
+        let f = run_file("crates/io/src/x.rs", bad_grammar, &["io.shard.write_all"]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("grammar"));
+
+        // format!-built span names become wildcard patterns, no leading &.
+        let templated = r#"fn f(r: &Registry, n: &str) { let _s = r.span(format!("bench.{n}")); }"#;
+        assert!(run_file("crates/bench/src/x.rs", templated, &["bench.*"]).is_empty());
+    }
+
+    #[test]
+    fn span_family_counts_as_emitted() {
+        let emitting = source_file(
+            "crates/io/src/x.rs",
+            r#"fn f(r: &Registry) { let _s = r.span("io.prefetch.worker"); }"#,
+        );
+        let ws = ws_with(vec![emitting], &["io.prefetch.worker"]);
+        let mut out = Vec::new();
+        check_workspace(&ws, &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

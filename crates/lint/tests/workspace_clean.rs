@@ -35,9 +35,13 @@ fn workspace_is_lint_clean() {
 fn suppression_budget_respected() {
     let root = workspace_root();
     let report = drai_lint::lint_workspace(&root).expect("workspace scan succeeds");
+    // The workspace currently needs exactly one suppression (the
+    // documented panic-propagation contract in `io::parallel`). New
+    // suppressions are a regression in their own right: shrink the
+    // budget when one is removed, and justify any increase here.
     assert!(
-        report.suppressed.len() <= 10,
-        "suppression budget exceeded: {} > 10",
+        report.suppressed.len() <= 1,
+        "suppression budget exceeded: {} > 1 — justify new suppressions in this test",
         report.suppressed.len()
     );
     let in_telemetry: Vec<_> = report

@@ -19,11 +19,17 @@
 //!
 //! Serialization is JSONL (one event per line) through `drai-io`'s JSON
 //! module, making audit logs greppable and appendable.
+//!
+//! Every recorded transformation is additionally stamped with the
+//! telemetry [`TraceId`] current at [`Ledger::record`] time (when the
+//! recording code runs under an entered span), linking each readiness
+//! transition to the exported trace tree that timed it.
 
 #![forbid(unsafe_code)]
 
 use drai_io::checksum::{content_hash128, hash_hex};
 use drai_io::json::Json;
+use drai_telemetry::{TraceContext, TraceId};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -85,6 +91,9 @@ pub struct Transformation {
     pub inputs: Vec<Artifact>,
     /// Output artifacts.
     pub outputs: Vec<Artifact>,
+    /// Telemetry trace active when this was recorded, if any — the key
+    /// into the exported trace tree that timed this step.
+    pub trace: Option<TraceId>,
 }
 
 impl Transformation {
@@ -96,7 +105,7 @@ impl Transformation {
                 ("bytes", Json::from(a.bytes)),
             ])
         };
-        Json::obj([
+        let mut fields = vec![
             ("seq", Json::from(self.seq)),
             ("operation", Json::from(self.operation.clone())),
             (
@@ -110,7 +119,11 @@ impl Transformation {
             ),
             ("inputs", Json::Arr(self.inputs.iter().map(art).collect())),
             ("outputs", Json::Arr(self.outputs.iter().map(art).collect())),
-        ])
+        ];
+        if let Some(trace) = self.trace {
+            fields.push(("trace", Json::from(trace.as_u64())));
+        }
+        Json::obj(fields)
     }
 
     fn from_json(v: &Json) -> Result<Transformation, ProvenanceError> {
@@ -165,6 +178,9 @@ impl Transformation {
             params,
             inputs: arts("inputs")?,
             outputs: arts("outputs")?,
+            // Optional: audit logs from before trace stamping parse
+            // with no trace attached.
+            trace: v.get("trace").and_then(Json::as_u64).map(TraceId),
         })
     }
 }
@@ -224,6 +240,11 @@ impl Ledger {
     }
 
     /// Record a transformation; returns its sequence number.
+    ///
+    /// The transformation is stamped with the [`TraceId`] of the
+    /// thread's current [`TraceContext`], if one is attached — pipeline
+    /// stage spans are entered while stage functions run, so stage-side
+    /// `record` calls land in the stage's trace automatically.
     pub fn record(
         &self,
         operation: &str,
@@ -231,6 +252,7 @@ impl Ledger {
         inputs: Vec<Artifact>,
         outputs: Vec<Artifact>,
     ) -> u64 {
+        let trace = TraceContext::current().map(|ctx| ctx.trace_id());
         let mut inner = self.inner.lock();
         let seq = inner.transformations.len() as u64;
         for out in &outputs {
@@ -242,6 +264,7 @@ impl Ledger {
             params: params.into_iter().collect(),
             inputs,
             outputs,
+            trace,
         });
         seq
     }
@@ -505,6 +528,30 @@ mod tests {
         assert!(ledger.verify_reproduction(1, |_| vec![]).is_err());
         // Unknown seq.
         assert!(ledger.verify_reproduction(99, |_| vec![]).is_err());
+    }
+
+    #[test]
+    fn records_stamp_current_trace_and_round_trip() {
+        use drai_telemetry::Registry;
+        let ledger = Ledger::new();
+        // Outside any context: no trace.
+        ledger.record("bare", [], vec![], vec![Artifact::new("a", b"a")]);
+        // Under an entered span: stamped with the span's trace.
+        let reg = Registry::new();
+        let span = reg.span("stage.record");
+        let expected = span.trace_id();
+        {
+            let _in_span = span.enter();
+            ledger.record("traced", [], vec![], vec![Artifact::new("b", b"b")]);
+        }
+        let text = ledger.to_jsonl();
+        let back = Ledger::from_jsonl(&text).unwrap();
+        let bare = back.producer(&ArtifactId::of(b"a")).unwrap();
+        let traced = back.producer(&ArtifactId::of(b"b")).unwrap();
+        assert_eq!(bare.trace, None);
+        assert_eq!(traced.trace, Some(expected));
+        // Pre-stamping audit logs (no "trace" key) still parse.
+        assert!(!text.lines().next().unwrap().contains("\"trace\""));
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!   "histograms": {"io.sink.fsync_ns": {"count": 2, "sum": 900, "min": 400,
 //!                  "max": 500, "mean": 450.0, "p50": 448, "p90": 500,
 //!                  "p99": 500, "buckets": [[8, 2]]}},
-//!   "spans":      [{"name": "pipeline.climate.regrid", "start_ns": 10,
+//!   "spans":      [{"name": "pipeline.climate.regrid", "trace": 1,
+//!                  "id": 4, "parent": 2, "start_ns": 10,
 //!                  "dur_ns": 4200, "items": 240, "bytes": 0}]
 //! }
 //! ```
@@ -80,9 +81,17 @@ fn histogram_json(h: &HistogramSummary) -> String {
 }
 
 fn span_json(s: &SpanRecord) -> String {
+    let parent = match s.parent {
+        Some(p) => p.0.to_string(),
+        None => "null".to_string(),
+    };
     format!(
-        "{{\"name\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"items\":{},\"bytes\":{}}}",
+        "{{\"name\":\"{}\",\"trace\":{},\"id\":{},\"parent\":{},\
+         \"start_ns\":{},\"dur_ns\":{},\"items\":{},\"bytes\":{}}}",
         escape_json(&s.name),
+        s.trace.0,
+        s.id.0,
+        parent,
         s.start_ns,
         s.dur_ns,
         s.items,
@@ -210,6 +219,9 @@ mod tests {
         assert!(json.contains("\"c.ns\":{\"count\":2,\"sum\":400"));
         assert!(json.contains("\"name\":\"stage.one\""));
         assert!(json.contains("\"items\":5"));
+        // Trace placement fields are present; a lone span is a root.
+        assert!(json.contains("\"parent\":null"), "{json}");
+        assert!(json.contains("\"trace\":"), "{json}");
         // Balanced braces and quotes — cheap well-formedness check.
         assert_eq!(
             json.matches('{').count(),

@@ -8,17 +8,40 @@
 //! [`export`] module renders it as JSON, JSONL, or criterion-style
 //! `estimates.json` files consumed by `scripts/summarize_bench.py`.
 //!
+//! # Hierarchical traces
+//!
+//! Spans are not just a flat log: every span carries a [`TraceId`]
+//! (one per causally connected run), its own [`SpanId`], and the id of
+//! the span that was *current* when it was opened. Currency is a
+//! thread-local stack of [`TraceContext`]s: entering a span with
+//! [`Span::enter`] pushes, dropping the guard pops. Crossing a thread
+//! boundary is explicit — capture [`TraceContext::current`] (or
+//! [`Span::context`]) when the closure is *created* and
+//! [`TraceContext::attach`] it inside the worker, so trace shape is
+//! deterministic no matter how a thread pool schedules the work. The
+//! [`trace`] module reassembles the records into trees and exports
+//! Chrome trace-event JSON, folded flamegraph stacks, and a
+//! critical-path summary.
+//!
+//! [`Registry::current`] returns the context's registry (falling back
+//! to [`Registry::global`]); instrumented library code resolves its
+//! metrics through it so a private per-test registry captures worker
+//! metrics too.
+//!
 //! The metric namespace is a public interface: dashboards, the bench
 //! summarizer, and regression tests key on exact dotted names. Every
-//! family in use is registered in [`METRIC_FAMILIES`], and the
-//! `telemetry-names` rule of `drai-lint` checks both directions —
-//! every name emitted in code unifies with a registered family, and
-//! every registered family is emitted somewhere. To add a metric,
-//! add its family here and emit it in the same change.
+//! family in use — histogram/counter/gauge names *and* span names —
+//! is registered in [`METRIC_FAMILIES`], and the `telemetry-names`
+//! rule of `drai-lint` checks both directions — every name emitted in
+//! code unifies with a registered family, and every registered family
+//! is emitted somewhere. To add a metric or span, add its family here
+//! and emit it in the same change.
 //!
 //! Producers: `pipeline.*` comes from drai-core; `io.{prefetch,shard,
 //! codec,sink}.*` from drai-io; `io.{fault,retry}.*` from the fault/
-//! retry layer; `*.ns` is the histogram every [`Span`] records on drop.
+//! retry layer; `domain.*` from drai-domains; `bench.*` from the
+//! `drai-bench-report` binary; `*.ns` is the histogram every [`Span`]
+//! records on drop.
 //!
 //! ```
 //! use drai_telemetry::Registry;
@@ -28,6 +51,7 @@
 //! {
 //!     let span = reg.span("pipeline.demo.validate");
 //!     span.add_items(128);
+//!     let _in_stage = span.enter(); // children opened now nest under it
 //!     // ... stage work ...
 //! } // span records its duration on drop
 //! let snap = reg.snapshot();
@@ -37,7 +61,9 @@
 
 #![forbid(unsafe_code)]
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::OnceLock;
@@ -46,6 +72,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 
 pub mod export;
+pub mod trace;
 
 pub use export::write_criterion_estimates;
 
@@ -54,14 +81,15 @@ pub use export::write_criterion_estimates;
 /// ~584 years.
 pub const HISTOGRAM_BUCKETS: usize = 64;
 
-/// Registered metric families. Dotted patterns; a `*` segment stands
-/// for one or more name segments filled in at emission time (pipeline
-/// and stage names, codec ids, fault kinds).
+/// Registered metric and span families. Dotted patterns; a `*` segment
+/// stands for one or more name segments filled in at emission time
+/// (pipeline and stage names, codec ids, fault kinds).
 ///
 /// This list is the contract between producers and consumers of the
 /// namespace, enforced by the `telemetry-names` lint rule: emitting an
 /// unregistered name or registering a never-emitted family both fail
-/// CI.
+/// CI. Span names (`Registry::span` / `Registry::time`) are validated
+/// against the same list.
 pub const METRIC_FAMILIES: &[&str] = &[
     // drai-core pipeline stages (counter, counter, counter, span histogram)
     "pipeline.*.*.records",
@@ -104,6 +132,20 @@ pub const METRIC_FAMILIES: &[&str] = &[
     "io.retry.attempts",
     "io.retry.backoff_ns",
     "io.retry.exhausted",
+    // span tree: drai-core pipeline run/stage spans
+    "pipeline.*.run",
+    "pipeline.*.run_batch",
+    "pipeline.*.run_iterative",
+    "pipeline.*.*",
+    // span tree: drai-domains archetype runs
+    "domain.*.run",
+    "domain.*.ingest",
+    // span tree: drai-io worker and shard container spans
+    "io.prefetch.worker",
+    "io.shard.write_all",
+    "io.shard.read_all",
+    // span tree: drai-bench-report harness
+    "bench.*",
     // every Span records `<span name>.ns` on drop
     "*.ns",
 ];
@@ -324,11 +366,146 @@ impl Histogram {
     }
 }
 
-/// A completed span: one timed, named unit of work.
+/// Identifier of one causally connected run. Allocated process-wide so
+/// ids stay unique across registries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    fn next() -> TraceId {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        TraceId(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of one span within its registry (unique per registry,
+/// never 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// Raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SpanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+thread_local! {
+    static CONTEXT: RefCell<Vec<TraceContext>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The propagation unit of a trace: which registry to record into,
+/// which trace the work belongs to, and which span is the parent of
+/// anything opened under it.
+///
+/// Handoff rules:
+/// - Same thread: [`Span::enter`] pushes the span's context onto a
+///   thread-local stack; the returned guard pops it.
+/// - Across threads: capture the context when the closure is
+///   *created* ([`TraceContext::current`] or [`Span::context`]) and
+///   [`attach`](TraceContext::attach) it inside the worker. Capturing
+///   at creation time (not at run time) is what makes trace shape
+///   independent of how a pool schedules the closure.
+#[derive(Debug, Clone)]
+pub struct TraceContext {
+    registry: Registry,
+    trace: TraceId,
+    parent: Option<SpanId>,
+}
+
+impl TraceContext {
+    /// Start a fresh trace rooted in `registry`. Spans opened while
+    /// this context is attached become roots of the new trace.
+    pub fn root(registry: &Registry) -> TraceContext {
+        TraceContext {
+            registry: registry.clone(),
+            trace: TraceId::next(),
+            parent: None,
+        }
+    }
+
+    /// The context attached to the current thread, if any.
+    pub fn current() -> Option<TraceContext> {
+        CONTEXT.with(|stack| stack.borrow().last().cloned())
+    }
+
+    /// Registry this context records into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Trace this context belongs to.
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
+    }
+
+    /// Span that new child spans will attach under (`None` → root).
+    pub fn parent(&self) -> Option<SpanId> {
+        self.parent
+    }
+
+    /// Make this context current on this thread until the guard drops.
+    /// Guards must drop in reverse attach order (RAII scoping does
+    /// this naturally).
+    pub fn attach(&self) -> ContextGuard {
+        CONTEXT.with(|stack| stack.borrow_mut().push(self.clone()));
+        ContextGuard {
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Run `f` with this context attached.
+    pub fn scope<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _guard = self.attach();
+        f()
+    }
+}
+
+/// RAII guard from [`TraceContext::attach`] / [`Span::enter`]; pops
+/// the thread-local context stack on drop. Not `Send`: it must drop on
+/// the thread that created it.
+pub struct ContextGuard {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CONTEXT.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// A completed span: one timed, named unit of work, placed in its
+/// trace tree by `(trace, id, parent)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
     /// Span name (e.g. `pipeline.climate.regrid`).
     pub name: String,
+    /// Trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id (unique within the registry).
+    pub id: SpanId,
+    /// Id of the span that was current when this one opened; `None`
+    /// for trace roots.
+    pub parent: Option<SpanId>,
     /// Start offset in ns from the registry's epoch.
     pub start_ns: u64,
     /// Wall-clock duration in ns (at least 1).
@@ -341,16 +518,25 @@ pub struct SpanRecord {
 
 /// Live scoped timer; records a [`SpanRecord`] (and a `<name>.ns`
 /// histogram observation) into its registry when dropped.
-pub struct Span<'a> {
-    registry: &'a Registry,
+///
+/// On creation the span adopts the thread's current [`TraceContext`]
+/// (same registry only) as its parent; otherwise it roots a new
+/// trace. Use [`Span::enter`] to make it the parent of subsequent
+/// spans on this thread, and [`Span::context`] to hand it across a
+/// thread boundary.
+pub struct Span {
+    registry: Registry,
     name: String,
+    trace: TraceId,
+    id: SpanId,
+    parent: Option<SpanId>,
     start: Instant,
     start_ns: u64,
     items: AtomicU64,
     bytes: AtomicU64,
 }
 
-impl Span<'_> {
+impl Span {
     /// Attribute `n` processed items to this span.
     pub fn add_items(&self, n: u64) {
         self.items.fetch_add(n, Ordering::Relaxed);
@@ -365,16 +551,45 @@ impl Span<'_> {
     pub fn name(&self) -> &str {
         &self.name
     }
+
+    /// Trace this span belongs to.
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
+    }
+
+    /// This span's id.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// A context that parents new spans under this one — capture it
+    /// before spawning workers and `attach` it inside them.
+    pub fn context(&self) -> TraceContext {
+        TraceContext {
+            registry: self.registry.clone(),
+            trace: self.trace,
+            parent: Some(self.id),
+        }
+    }
+
+    /// Make this span the current parent on this thread until the
+    /// guard drops. Keep the guard narrower than the span itself.
+    pub fn enter(&self) -> ContextGuard {
+        self.context().attach()
+    }
 }
 
-impl Drop for Span<'_> {
+impl Drop for Span {
     fn drop(&mut self) {
         let dur_ns = (self.start.elapsed().as_nanos() as u64).max(1);
         self.registry
             .histogram(&format!("{}.ns", self.name))
             .record(dur_ns);
-        self.registry.spans.lock().push(SpanRecord {
+        self.registry.inner.spans.lock().push(SpanRecord {
             name: std::mem::take(&mut self.name),
+            trace: self.trace,
+            id: self.id,
+            parent: self.parent,
             start_ns: self.start_ns,
             dur_ns,
             items: self.items.load(Ordering::Relaxed),
@@ -434,16 +649,29 @@ impl Snapshot {
     pub fn to_jsonl(&self) -> String {
         export::to_jsonl(self)
     }
+
+    /// Reassemble the span log into trace trees (see
+    /// [`trace::build_forest`]).
+    pub fn trace_forest(&self) -> Vec<trace::TraceNode> {
+        trace::build_forest(&self.spans)
+    }
 }
 
-/// Holds all named metrics. Cheap to share (`&Registry` or the
-/// process-wide [`Registry::global`]).
-pub struct Registry {
+struct RegistryInner {
     epoch: Instant,
+    next_span_id: AtomicU64,
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
     spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// Holds all named metrics. A cheap-clone handle (`Arc` inside): clone
+/// it to share across threads, or use the process-wide
+/// [`Registry::global`].
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
 }
 
 impl Default for Registry {
@@ -455,10 +683,10 @@ impl Default for Registry {
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Registry")
-            .field("counters", &self.counters.read().len())
-            .field("gauges", &self.gauges.read().len())
-            .field("histograms", &self.histograms.read().len())
-            .field("spans", &self.spans.lock().len())
+            .field("counters", &self.inner.counters.read().len())
+            .field("gauges", &self.inner.gauges.read().len())
+            .field("histograms", &self.inner.histograms.read().len())
+            .field("spans", &self.inner.spans.lock().len())
             .finish()
     }
 }
@@ -467,19 +695,36 @@ impl Registry {
     /// Fresh, empty registry.
     pub fn new() -> Registry {
         Registry {
-            epoch: Instant::now(),
-            counters: RwLock::new(BTreeMap::new()),
-            gauges: RwLock::new(BTreeMap::new()),
-            histograms: RwLock::new(BTreeMap::new()),
-            spans: Mutex::new(Vec::new()),
+            inner: Arc::new(RegistryInner {
+                epoch: Instant::now(),
+                next_span_id: AtomicU64::new(1),
+                counters: RwLock::new(BTreeMap::new()),
+                gauges: RwLock::new(BTreeMap::new()),
+                histograms: RwLock::new(BTreeMap::new()),
+                spans: Mutex::new(Vec::new()),
+            }),
         }
     }
 
     /// Process-wide registry used by the instrumented pipeline and I/O
-    /// layers.
+    /// layers when no [`TraceContext`] is attached.
     pub fn global() -> &'static Registry {
         static GLOBAL: OnceLock<Registry> = OnceLock::new();
         GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// The registry instrumented library code should record into: the
+    /// attached [`TraceContext`]'s registry, else [`Registry::global`].
+    pub fn current() -> Registry {
+        match TraceContext::current() {
+            Some(ctx) => ctx.registry,
+            None => Registry::global().clone(),
+        }
+    }
+
+    /// Whether two handles point at the same underlying registry.
+    pub fn same_as(&self, other: &Registry) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
@@ -494,34 +739,48 @@ impl Registry {
 
     /// Named counter, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        Self::get_or_insert(&self.counters, name)
+        Self::get_or_insert(&self.inner.counters, name)
     }
 
     /// Named gauge, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        Self::get_or_insert(&self.gauges, name)
+        Self::get_or_insert(&self.inner.gauges, name)
     }
 
     /// Named histogram, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        Self::get_or_insert(&self.histograms, name)
+        Self::get_or_insert(&self.inner.histograms, name)
     }
 
     /// Start a scoped timer; it records itself when dropped.
-    pub fn span(&self, name: impl Into<String>) -> Span<'_> {
+    ///
+    /// If the thread's current [`TraceContext`] records into this same
+    /// registry, the span joins that trace under the context's parent;
+    /// otherwise it roots a new trace.
+    pub fn span(&self, name: impl Into<String>) -> Span {
+        let id = SpanId(self.inner.next_span_id.fetch_add(1, Ordering::Relaxed));
+        let (trace, parent) = match TraceContext::current() {
+            Some(ctx) if ctx.registry.same_as(self) => (ctx.trace, ctx.parent),
+            _ => (TraceId::next(), None),
+        };
         Span {
-            registry: self,
+            registry: self.clone(),
             name: name.into(),
+            trace,
+            id,
+            parent,
             start: Instant::now(),
-            start_ns: self.epoch.elapsed().as_nanos() as u64,
+            start_ns: self.inner.epoch.elapsed().as_nanos() as u64,
             items: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
         }
     }
 
-    /// Time `f` under `name`, returning its result.
+    /// Time `f` under `name` (entered, so spans `f` opens nest under
+    /// it), returning its result.
     pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
-        let _span = self.span(name);
+        let span = self.span(name);
+        let _ctx = span.enter();
         f()
     }
 
@@ -529,18 +788,21 @@ impl Registry {
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
             counters: self
+                .inner
                 .counters
                 .read()
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             gauges: self
+                .inner
                 .gauges
                 .read()
                 .iter()
                 .map(|(k, v)| (k.clone(), (v.get(), v.max())))
                 .collect(),
             histograms: self
+                .inner
                 .histograms
                 .read()
                 .iter()
@@ -561,17 +823,17 @@ impl Registry {
                     )
                 })
                 .collect(),
-            spans: self.spans.lock().clone(),
+            spans: self.inner.spans.lock().clone(),
         }
     }
 
     /// Drop every metric and span. Handed-out `Arc`s keep working but
     /// are no longer reachable from the registry.
     pub fn reset(&self) {
-        self.counters.write().clear();
-        self.gauges.write().clear();
-        self.histograms.write().clear();
-        self.spans.lock().clear();
+        self.inner.counters.write().clear();
+        self.inner.gauges.write().clear();
+        self.inner.histograms.write().clear();
+        self.inner.spans.lock().clear();
     }
 }
 
@@ -591,6 +853,31 @@ mod tests {
         g.add(-2);
         assert_eq!(g.get(), 3);
         assert_eq!(g.max(), 5);
+    }
+
+    #[test]
+    fn gauge_max_is_exact_under_concurrent_add() {
+        let reg = Registry::new();
+        let g = reg.gauge("inflight");
+        // 8 threads each ramp up to 1000 then back down; the true
+        // high-water mark is at most 8000 and at least 1000 (one
+        // thread's full ramp), and the final level is exactly 0.
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let g = g.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        g.add(1);
+                    }
+                    for _ in 0..1000 {
+                        g.add(-1);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 0);
+        assert!(g.max() >= 1000, "max {} lost updates", g.max());
+        assert!(g.max() <= 8000, "max {} overcounted", g.max());
     }
 
     #[test]
@@ -617,8 +904,53 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.0), 0);
         assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_quantile_is_that_sample() {
+        let h = Histogram::default();
+        h.record(100);
+        // Whatever the bucket midpoint says, clamping to [min, max]
+        // must return the only observation for every q.
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 100, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_at_exact_log2_boundaries() {
+        let h = Histogram::default();
+        // Each value sits exactly on a bucket lower bound: 1 → bucket
+        // 0, 2 → 1, 4 → 2, 8 → 3.
+        for v in [1u64, 2, 4, 8] {
+            h.record(v);
+        }
+        assert_eq!(
+            h.bucket_counts(),
+            vec![(0, 1), (1, 1), (2, 1), (3, 1)],
+            "one observation per boundary bucket"
+        );
+        // q=0 resolves to the first bucket, clamped up to min=1.
+        assert_eq!(h.quantile(0.0), 1);
+        // q=1 resolves to the last bucket [8, 15], clamped down to
+        // max=8.
+        assert_eq!(h.quantile(1.0), 8);
+        // Quantiles are monotone in q across boundary buckets.
+        let qs: Vec<u64> = [0.0, 0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "quantiles not monotone: {qs:?}");
+        }
+        // All results stay inside the observed range.
+        for &q in &qs {
+            assert!((1..=8).contains(&q));
+        }
     }
 
     #[test]
@@ -640,8 +972,92 @@ mod tests {
         assert_eq!(spans[0].items, 10);
         assert_eq!(spans[0].bytes, 4096);
         assert!(spans[1].start_ns >= spans[0].start_ns);
+        // Without an entered parent each span roots its own trace.
+        assert_ne!(spans[0].trace, spans[1].trace);
+        assert_eq!(spans[0].parent, None);
         // Drop also feeds the latency histogram.
         assert_eq!(snap.histograms["work.unit.ns"].count, 2);
+    }
+
+    #[test]
+    fn entered_spans_nest() {
+        let reg = Registry::new();
+        {
+            let outer = reg.span("outer.run");
+            let _in_outer = outer.enter();
+            {
+                let mid = reg.span("mid.step");
+                let _in_mid = mid.enter();
+                let _leaf = reg.span("leaf.step");
+            }
+            let _sibling = reg.span("mid.step");
+        }
+        let snap = reg.snapshot();
+        let outer = snap.spans_named("outer.run")[0].clone();
+        let mids = snap.spans_named("mid.step");
+        let leaf = snap.spans_named("leaf.step")[0].clone();
+        assert_eq!(outer.parent, None);
+        for mid in &mids {
+            assert_eq!(mid.parent, Some(outer.id));
+            assert_eq!(mid.trace, outer.trace);
+        }
+        assert_eq!(leaf.parent, Some(mids[0].id));
+        assert_eq!(leaf.trace, outer.trace);
+    }
+
+    #[test]
+    fn context_handoff_across_threads_is_deterministic() {
+        let reg = Registry::new();
+        {
+            let stage = reg.span("stage.parallel");
+            // Capture at closure-creation time, attach inside workers.
+            let ctx = stage.context();
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let ctx = ctx.clone();
+                    s.spawn(move || {
+                        let _guard = ctx.attach();
+                        let reg = Registry::current();
+                        let _w = reg.span("worker.task");
+                    });
+                }
+            });
+        }
+        let snap = reg.snapshot();
+        let stage = snap.spans_named("stage.parallel")[0].clone();
+        let workers = snap.spans_named("worker.task");
+        assert_eq!(workers.len(), 4);
+        for w in workers {
+            assert_eq!(w.parent, Some(stage.id), "worker not under stage");
+            assert_eq!(w.trace, stage.trace);
+        }
+    }
+
+    #[test]
+    fn current_registry_follows_context() {
+        let private = Registry::new();
+        // No context: global.
+        assert!(Registry::current().same_as(Registry::global()));
+        let root = TraceContext::root(&private);
+        root.scope(|| {
+            assert!(Registry::current().same_as(&private));
+        });
+        assert!(Registry::current().same_as(Registry::global()));
+    }
+
+    #[test]
+    fn foreign_registry_context_does_not_leak_parent() {
+        let a = Registry::new();
+        let b = Registry::new();
+        let span_a = a.span("a.root");
+        let _in_a = span_a.enter();
+        // A span on a *different* registry must not adopt a parent id
+        // from registry `a`'s context.
+        let span_b = b.span("b.root");
+        assert_ne!(span_b.trace_id(), span_a.trace_id());
+        drop(span_b);
+        let snap = b.snapshot();
+        assert_eq!(snap.spans[0].parent, None);
     }
 
     #[test]
@@ -650,6 +1066,18 @@ mod tests {
         let out = reg.time("calc", || 6 * 7);
         assert_eq!(out, 42);
         assert_eq!(reg.snapshot().spans_named("calc").len(), 1);
+    }
+
+    #[test]
+    fn time_helper_nests_children() {
+        let reg = Registry::new();
+        reg.time("outer.calc", || {
+            let _inner = reg.span("inner.calc");
+        });
+        let snap = reg.snapshot();
+        let outer = snap.spans_named("outer.calc")[0].clone();
+        let inner = snap.spans_named("inner.calc")[0].clone();
+        assert_eq!(inner.parent, Some(outer.id));
     }
 
     #[test]

@@ -1,10 +1,23 @@
 #!/usr/bin/env python3
-"""Summarize criterion results (target/criterion) into a Markdown table.
+"""Summarize bench results into Markdown tables.
 
-Usage: python3 scripts/summarize_bench.py [criterion_dir]
+Two modes:
+
+  python3 scripts/summarize_bench.py [criterion_dir]
+      Walk criterion output (default target/criterion) and print one
+      row per benchmark with its mean time.
+
+  python3 scripts/summarize_bench.py --bench-reports [repo_root]
+      Ingest every BENCH_<n>.json trajectory point written by
+      drai-bench-report (default: repo root, i.e. the parent of this
+      script's directory) and print the cross-PR trajectory: one row
+      per bench per report, sorted by PR number then bench name, with
+      the wall-time delta against the same bench in the previous
+      comparable (same-mode) report.
 """
 import json
 import os
+import re
 import sys
 
 
@@ -18,8 +31,14 @@ def fmt_time(ns: float) -> str:
     return f"{ns / 1e9:.3f} s"
 
 
-def main() -> None:
-    root = sys.argv[1] if len(sys.argv) > 1 else "target/criterion"
+def fmt_rate(per_s: float, unit: str) -> str:
+    for scale, prefix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if per_s >= scale:
+            return f"{per_s / scale:.2f} {prefix}{unit}/s"
+    return f"{per_s:.1f} {unit}/s"
+
+
+def criterion_mode(root: str) -> None:
     rows = []
     for dirpath, _dirnames, filenames in os.walk(root):
         if "estimates.json" not in filenames or not dirpath.endswith(os.sep + "new"):
@@ -38,6 +57,73 @@ def main() -> None:
     print("|---|---|")
     for name, ns in rows:
         print(f"| {name} | {fmt_time(ns)} |")
+
+
+def load_reports(root: str):
+    """Parse every BENCH_<n>.json under root, sorted by PR number."""
+    reports = []
+    for name in os.listdir(root):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", name)
+        if not m:
+            continue
+        path = os.path.join(root, name)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping {name}: {e}", file=sys.stderr)
+            continue
+        if doc.get("format") != "drai-bench-report/v1":
+            print(f"warning: skipping {name}: unknown format", file=sys.stderr)
+            continue
+        reports.append((int(m.group(1)), doc))
+    reports.sort(key=lambda t: t[0])
+    return reports
+
+
+def bench_reports_mode(root: str) -> None:
+    reports = load_reports(root)
+    if not reports:
+        print(f"no BENCH_<n>.json files under {root}", file=sys.stderr)
+        sys.exit(1)
+    # prev[(mode, bench)] -> wall_ns of the latest earlier report.
+    prev = {}
+    print("| PR | bench | wall | items/s | bytes/s | top stage (self) | vs prev |")
+    print("|---|---|---|---|---|---|---|")
+    for pr, doc in reports:
+        mode = doc.get("mode", "full")
+        for bench in doc.get("benches", []):
+            name = bench["name"]
+            wall = bench["wall_ns"]
+            stages = bench.get("stages", [])
+            top = max(stages, key=lambda s: s["self_ns"], default=None)
+            top_txt = (
+                f"{top['name']} ({fmt_time(top['self_ns'])})" if top else "—"
+            )
+            key = (mode, name)
+            if key in prev:
+                delta = wall / prev[key] - 1.0
+                delta_txt = f"{delta:+.1%}"
+            else:
+                delta_txt = "—"
+            prev[key] = wall
+            label = name if mode == "full" else f"{name} [{mode}]"
+            print(
+                f"| {pr} | {label} | {fmt_time(wall)} "
+                f"| {fmt_rate(bench.get('items_per_s', 0.0), 'item')} "
+                f"| {fmt_rate(bench.get('bytes_per_s', 0.0), 'B')} "
+                f"| {top_txt} | {delta_txt} |"
+            )
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    if args and args[0] == "--bench-reports":
+        default_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        root = args[1] if len(args) > 1 else default_root
+        bench_reports_mode(root)
+    else:
+        criterion_mode(args[0] if args else "target/criterion")
 
 
 if __name__ == "__main__":
