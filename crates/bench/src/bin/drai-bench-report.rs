@@ -30,12 +30,16 @@ use drai_bench::report::{
     compare, delta_table, find_baseline, BenchResult, Report, DEFAULT_THRESHOLD,
 };
 use drai_bench::{mask_bytes, records, science_f32, tabular, timestamps_u64};
+use drai_cache::StageCache;
 use drai_core::pipeline::{Pipeline, StageCounters};
 use drai_core::ProcessingStage as S;
-use drai_domains::{bio, climate, fusion, materials};
+use drai_domains::climate::ClimateData;
+use drai_domains::{bio, cached, climate, fusion, materials};
+use drai_formats::netcdf::NcFile;
 use drai_io::codec::{codec_for, CodecId};
 use drai_io::shard::{ShardReader, ShardSpec, ShardWriter};
-use drai_io::sink::MemSink;
+use drai_io::sink::{MemSink, StorageSink};
+use drai_provenance::Ledger;
 use drai_telemetry::trace::{critical_path_summary, to_chrome_json, to_folded};
 use drai_telemetry::{Registry, TraceContext};
 use drai_tensor::LatLonGrid;
@@ -164,6 +168,94 @@ fn bench_climate(sz: &Sizes) -> Result<(), String> {
         ..climate::ClimateConfig::default()
     };
     climate::run(&cfg, Arc::new(MemSink::new())).map_err(|e| format!("{e}"))?;
+    Ok(())
+}
+
+/// Shared state for the `cache_climate_{cold,warm}` pair: the same
+/// input and config measured once against an empty cache (misses +
+/// entry writes) and once against a primed cache (pure replay). The
+/// BENCH acceptance gate wants warm ≤ 50% of cold.
+struct CacheBenchState {
+    cfg: climate::ClimateConfig,
+    input: ClimateData,
+    warm_cache: Arc<StageCache>,
+    warm_sink: Arc<dyn StorageSink>,
+}
+
+fn climate_cache_cfg(sz: &Sizes) -> climate::ClimateConfig {
+    climate::ClimateConfig {
+        src_grid: LatLonGrid::global(sz.nlat, sz.nlat * 2),
+        dst_grid: LatLonGrid::global(sz.nlat * 2 / 3, sz.nlat * 4 / 3),
+        timesteps: sz.timesteps,
+        shard_bytes: 1 << 20,
+        ..climate::ClimateConfig::default()
+    }
+}
+
+fn climate_cache_input(cfg: &climate::ClimateConfig) -> Result<ClimateData, String> {
+    let raw = MemSink::new();
+    let names = climate::generate_raw(cfg, &raw).map_err(|e| format!("{e}"))?;
+    let mut fields = Vec::with_capacity(names.len());
+    for (vi, name) in names.iter().enumerate() {
+        let bytes = raw.read_file(name).map_err(|e| format!("{e}"))?;
+        let nc = NcFile::from_bytes(&bytes).map_err(|e| format!("{e}"))?;
+        fields.push(
+            nc.var(climate::VARIABLES[vi].0)
+                .ok_or_else(|| format!("missing variable in {name}"))?
+                .data
+                .to_f64_vec(),
+        );
+    }
+    Ok(ClimateData {
+        fields,
+        grid: cfg.src_grid.clone(),
+        timesteps: cfg.timesteps,
+        normalizers: vec![],
+    })
+}
+
+fn prepare_cache_bench(sz: &Sizes) -> Result<CacheBenchState, String> {
+    let cfg = climate_cache_cfg(sz);
+    let input = climate_cache_input(&cfg)?;
+    let warm_cache = Arc::new(StageCache::new(Arc::new(MemSink::new()), 256 << 20));
+    let warm_sink: Arc<dyn StorageSink> = Arc::new(MemSink::new());
+    // Prime untimed: one cold pass fills the cache and the output sink
+    // so the warm bench measures pure cache replay.
+    let p = cached::build_cached_climate_pipeline(
+        &cfg,
+        warm_sink.clone(),
+        Arc::new(Ledger::new()),
+        warm_cache.clone(),
+    );
+    p.run(input.clone()).map_err(|e| format!("{e}"))?;
+    Ok(CacheBenchState {
+        cfg,
+        input,
+        warm_cache,
+        warm_sink,
+    })
+}
+
+fn bench_cache_cold(st: &CacheBenchState) -> Result<(), String> {
+    let cache = Arc::new(StageCache::new(Arc::new(MemSink::new()), 256 << 20));
+    let p = cached::build_cached_climate_pipeline(
+        &st.cfg,
+        Arc::new(MemSink::new()),
+        Arc::new(Ledger::new()),
+        cache,
+    );
+    p.run(st.input.clone()).map_err(|e| format!("{e}"))?;
+    Ok(())
+}
+
+fn bench_cache_warm(st: &CacheBenchState) -> Result<(), String> {
+    let p = cached::build_cached_climate_pipeline(
+        &st.cfg,
+        st.warm_sink.clone(),
+        Arc::new(Ledger::new()),
+        st.warm_cache.clone(),
+    );
+    p.run(st.input.clone()).map_err(|e| format!("{e}"))?;
     Ok(())
 }
 
@@ -372,7 +464,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         smoke: false,
         warn_only: false,
-        pr: 4,
+        pr: 6,
         out: PathBuf::from("target/bench-report"),
         threshold: DEFAULT_THRESHOLD,
         compare_only: None,
@@ -454,11 +546,23 @@ fn run() -> Result<ExitCode, String> {
     let _ = std::fs::remove_file(args.out.join("critical_paths.txt"));
     eprintln!("drai-bench-report: mode={mode} pr={}", args.pr);
 
+    let cache_state = Arc::new(prepare_cache_bench(&sz)?);
+    let cold_state = cache_state.clone();
+    let warm_state = cache_state;
+
     let benches: Vec<(&str, BenchFn)> = vec![
         ("fig1_pipeline", Box::new(bench_fig1)),
         (
             "table1_climate",
             Box::new(|_: &Registry, s: &Sizes| bench_climate(s)),
+        ),
+        (
+            "cache_climate_cold",
+            Box::new(move |_: &Registry, _: &Sizes| bench_cache_cold(&cold_state)),
+        ),
+        (
+            "cache_climate_warm",
+            Box::new(move |_: &Registry, _: &Sizes| bench_cache_warm(&warm_state)),
         ),
         (
             "table1_fusion",

@@ -1,0 +1,858 @@
+//! # drai-cache
+//!
+//! Content-addressed incremental stage-result cache: re-running a
+//! pipeline over unchanged inputs is the dominant workload when corpora
+//! are re-evaluated after every config tweak, so stage outputs are
+//! memoized under a key that captures *everything* that could change
+//! them:
+//!
+//! ```text
+//! key = digest(input bytes) × stage name × config fingerprint × format version
+//! ```
+//!
+//! Entries are self-describing blobs persisted through any
+//! [`StorageSink`] — a local filesystem, the in-memory test sink, the
+//! simulated striped store, or a fault-injecting wrapper — under
+//! `cache/<stage>/<key>.entry`. Each blob carries a digest of its
+//! decoded payload; an entry that fails verification (bit rot, torn
+//! write, format drift) is **quarantined and recomputed, never served**:
+//! the bad bytes move to `cache/quarantine/` for post-mortems and the
+//! lookup reports a miss.
+//!
+//! Capacity is bounded by a size-capped LRU policy whose recency stamps
+//! come from an injectable [`clock::CacheClock`] — production uses the
+//! wall clock (the one allowlisted wall-clock read outside the
+//! retry/telemetry layers), tests use [`clock::LogicalClock`] so
+//! eviction order is deterministic.
+//!
+//! Pipelines opt in per stage through [`CachedPipelineExt`], which wraps
+//! a stage function exactly like `PipelineBuilder::retry_stage` wraps
+//! one for retries. Artifact types describe their exact byte form via
+//! [`CacheBytes`] (helpers in [`bytes`]).
+//!
+//! Telemetry: `cache.hits`, `cache.misses`, `cache.evictions`,
+//! `cache.quarantined` counters and `cache.get`/`cache.put` spans, all
+//! into the context registry. Provenance: when a [`StageCache`] carries
+//! a ledger, every hit records a `cache_hit` transformation stamped with
+//! the TraceId that originally produced the entry.
+
+#![forbid(unsafe_code)]
+
+pub mod bytes;
+pub mod clock;
+
+use clock::{CacheClock, WallClock};
+use drai_core::pipeline::{PipelineBuilder, StageCounters};
+use drai_core::readiness::ProcessingStage;
+use drai_io::checksum::{content_hash128, hash_hex};
+use drai_io::codec::{codec_for, CodecId};
+use drai_io::sink::StorageSink;
+use drai_io::IoError;
+use drai_provenance::{Artifact, Ledger};
+use drai_telemetry::{Registry, TraceContext};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::bytes::{ByteReader, ByteWriter};
+
+/// Version baked into every cache key and entry header. Bump whenever
+/// the entry layout or any cached payload encoding changes: old entries
+/// then simply never match a new key, and stale blobs age out via LRU.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Magic prefix of a serialized cache entry.
+const ENTRY_MAGIC: &[u8; 4] = b"DRCE";
+
+/// Exact byte representation of a pipeline artifact, for keying and
+/// storage. Implementations must round-trip *bitwise*: the cache
+/// digests these bytes for identity, and a hit is deserialized from
+/// exactly the bytes a previous run serialized.
+pub trait CacheBytes: Sized {
+    /// Serialize to the canonical byte form.
+    fn to_cache_bytes(&self) -> Vec<u8>;
+    /// Reconstruct from bytes produced by [`CacheBytes::to_cache_bytes`].
+    fn from_cache_bytes(data: &[u8]) -> Result<Self, String>;
+}
+
+impl CacheBytes for Vec<u8> {
+    fn to_cache_bytes(&self) -> Vec<u8> {
+        self.clone()
+    }
+    fn from_cache_bytes(data: &[u8]) -> Result<Self, String> {
+        Ok(data.to_vec())
+    }
+}
+
+impl CacheBytes for Vec<f64> {
+    fn to_cache_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(8 + self.len() * 8);
+        w.put_f64_slice(self);
+        w.finish()
+    }
+    fn from_cache_bytes(data: &[u8]) -> Result<Self, String> {
+        let mut r = ByteReader::new(data);
+        let v = r.f64_vec()?;
+        r.expect_end()?;
+        Ok(v)
+    }
+}
+
+/// Deterministic fingerprint of a stage's configuration, built from
+/// key/value pairs. Order-sensitive on purpose — pass fields in a fixed
+/// declaration order so the fingerprint is stable across runs.
+pub fn config_fingerprint<'a>(fields: impl IntoIterator<Item = (&'a str, String)>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    for (k, v) in fields {
+        w.put_str(k);
+        w.put_str(&v);
+    }
+    w.finish()
+}
+
+/// A fully resolved cache key: the stage name (for the blob namespace)
+/// plus a 128-bit digest over input bytes, stage name, config
+/// fingerprint, and [`CACHE_FORMAT_VERSION`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    stage: String,
+    hash: [u8; 16],
+}
+
+impl CacheKey {
+    /// Compute the key for `stage` over serialized input bytes and a
+    /// config fingerprint. The input is digested first, so keying cost
+    /// is one hash pass regardless of how many key components change.
+    pub fn compute(stage: &str, input_bytes: &[u8], config_fp: &[u8]) -> CacheKey {
+        let input_digest = content_hash128(input_bytes);
+        let mut w = ByteWriter::with_capacity(64 + config_fp.len());
+        w.put_u64(u64::from(CACHE_FORMAT_VERSION));
+        w.put_str(stage);
+        w.put_bytes(&input_digest);
+        w.put_bytes(config_fp);
+        CacheKey {
+            stage: stage.to_string(),
+            hash: content_hash128(&w.finish()),
+        }
+    }
+
+    /// Stage this key belongs to.
+    pub fn stage(&self) -> &str {
+        &self.stage
+    }
+
+    /// Lowercase hex of the 128-bit key digest.
+    pub fn hex(&self) -> String {
+        hash_hex(&self.hash)
+    }
+
+    /// Blob name the entry is stored under.
+    pub fn blob_name(&self) -> String {
+        format!("cache/{}/{}.entry", self.stage, self.hex())
+    }
+
+    /// Blob name a corrupt entry is quarantined under (flat namespace:
+    /// path separators in the stage name become dots).
+    fn quarantine_name(&self) -> String {
+        format!(
+            "cache/quarantine/{}.{}.entry",
+            self.stage.replace('/', "."),
+            self.hex()
+        )
+    }
+}
+
+/// A verified cache hit.
+#[derive(Debug, Clone)]
+pub struct CacheHit {
+    /// The decoded stage-output payload, digest-verified.
+    pub payload: Vec<u8>,
+    /// Stage record counter captured when the entry was produced.
+    pub records: u64,
+    /// Stage byte counter captured when the entry was produced.
+    pub bytes: u64,
+    /// TraceId of the run that originally computed this entry, if one
+    /// was attached at `put` time.
+    pub origin_trace: Option<u64>,
+}
+
+struct DecodedEntry {
+    payload: Vec<u8>,
+    records: u64,
+    bytes: u64,
+    origin_trace: Option<u64>,
+}
+
+/// Serialize an entry blob. Layout (all integers little-endian):
+/// magic `DRCE` · format version u32 · codec tag u8 · origin trace u64
+/// (0 = none) · records u64 · bytes u64 · digest of the *decoded*
+/// payload (16 bytes) · encoded payload (length-prefixed).
+fn encode_entry(
+    codec: CodecId,
+    origin_trace: Option<u64>,
+    records: u64,
+    bytes: u64,
+    payload: &[u8],
+) -> Vec<u8> {
+    let encoded = codec_for(codec).encode(payload);
+    let mut w = ByteWriter::with_capacity(64 + encoded.len());
+    w.put_u8(ENTRY_MAGIC[0]);
+    w.put_u8(ENTRY_MAGIC[1]);
+    w.put_u8(ENTRY_MAGIC[2]);
+    w.put_u8(ENTRY_MAGIC[3]);
+    w.put_u64(u64::from(CACHE_FORMAT_VERSION));
+    w.put_u8(codec.tag());
+    w.put_u64(origin_trace.unwrap_or(0));
+    w.put_u64(records);
+    w.put_u64(bytes);
+    w.put_bytes(&content_hash128(payload));
+    w.put_bytes(&encoded);
+    w.finish()
+}
+
+/// Parse, decode, and digest-verify an entry blob. Any failure — bad
+/// magic, version drift, unknown codec, truncation, codec error, digest
+/// mismatch — is reported as a string so the caller can quarantine.
+fn decode_entry(data: &[u8]) -> Result<DecodedEntry, String> {
+    let mut r = ByteReader::new(data);
+    let magic = [r.u8()?, r.u8()?, r.u8()?, r.u8()?];
+    if &magic != ENTRY_MAGIC {
+        return Err("bad entry magic".to_string());
+    }
+    let version = r.u64()?;
+    if version != u64::from(CACHE_FORMAT_VERSION) {
+        return Err(format!(
+            "entry format version {version} != {CACHE_FORMAT_VERSION}"
+        ));
+    }
+    let codec = CodecId::from_tag(r.u8()?).map_err(|e| e.to_string())?;
+    let origin = r.u64()?;
+    let records = r.u64()?;
+    let bytes = r.u64()?;
+    let digest = r.bytes()?;
+    if digest.len() != 16 {
+        return Err(format!("digest is {} bytes, want 16", digest.len()));
+    }
+    let encoded = r.bytes()?;
+    r.expect_end()?;
+    let payload = codec_for(codec)
+        .decode(encoded)
+        .map_err(|e| e.to_string())?;
+    if content_hash128(&payload).as_slice() != digest {
+        return Err("payload digest mismatch".to_string());
+    }
+    Ok(DecodedEntry {
+        payload,
+        records,
+        bytes,
+        origin_trace: (origin != 0).then_some(origin),
+    })
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    size: u64,
+    last_access: u64,
+}
+
+#[derive(Debug, Default)]
+struct Index {
+    entries: BTreeMap<String, IndexEntry>,
+    total: u64,
+}
+
+impl Index {
+    fn touch(&mut self, blob: &str, size: u64, now: u64) {
+        match self.entries.get_mut(blob) {
+            Some(e) => e.last_access = now,
+            None => {
+                self.entries.insert(
+                    blob.to_string(),
+                    IndexEntry {
+                        size,
+                        last_access: now,
+                    },
+                );
+                self.total += size;
+            }
+        }
+    }
+
+    fn remove(&mut self, blob: &str) {
+        if let Some(e) = self.entries.remove(blob) {
+            self.total -= e.size;
+        }
+    }
+
+    /// Least-recently-used blob, excluding `keep` (ties break on name
+    /// so eviction order is deterministic even on a frozen clock).
+    fn victim(&self, keep: &str) -> Option<String> {
+        self.entries
+            .iter()
+            .filter(|(name, _)| name.as_str() != keep)
+            .min_by_key(|(name, e)| (e.last_access, name.as_str()))
+            .map(|(name, _)| name.clone())
+    }
+}
+
+/// A shared, size-capped, content-addressed stage-result cache over a
+/// [`StorageSink`].
+///
+/// Thread-safe: the index is mutex-guarded and sinks are required to be
+/// thread-safe, so one `Arc<StageCache>` can serve parallel pipeline
+/// workers. Each `get` counts exactly one of `cache.hits`/`cache.misses`.
+pub struct StageCache {
+    sink: Arc<dyn StorageSink>,
+    clock: Arc<dyn CacheClock>,
+    capacity_bytes: u64,
+    codec: CodecId,
+    ledger: Option<Arc<Ledger>>,
+    index: Mutex<Index>,
+}
+
+impl StageCache {
+    /// Cache over `sink` holding at most `capacity_bytes` of entry
+    /// blobs, with a wall clock and raw (uncompressed) entries.
+    pub fn new(sink: Arc<dyn StorageSink>, capacity_bytes: u64) -> StageCache {
+        StageCache {
+            sink,
+            clock: Arc::new(WallClock::new()),
+            capacity_bytes,
+            codec: CodecId::Raw,
+            ledger: None,
+            index: Mutex::new(Index::default()),
+        }
+    }
+
+    /// Replace the recency clock (tests inject a deterministic one).
+    pub fn with_clock(mut self, clock: Arc<dyn CacheClock>) -> StageCache {
+        self.clock = clock;
+        self
+    }
+
+    /// Compress entry payloads with `codec`.
+    pub fn with_codec(mut self, codec: CodecId) -> StageCache {
+        self.codec = codec;
+        self
+    }
+
+    /// Record a `cache_hit` provenance transformation for every hit.
+    pub fn with_ledger(mut self, ledger: Arc<Ledger>) -> StageCache {
+        self.ledger = Some(ledger);
+        self
+    }
+
+    /// The sink entries persist through.
+    pub fn sink(&self) -> &Arc<dyn StorageSink> {
+        &self.sink
+    }
+
+    /// Number of entries the LRU index currently tracks.
+    pub fn tracked_entries(&self) -> usize {
+        self.index.lock().entries.len()
+    }
+
+    /// Total entry bytes the LRU index currently tracks.
+    pub fn tracked_bytes(&self) -> u64 {
+        self.index.lock().total
+    }
+
+    /// Look up `key`. Returns a digest-verified hit, or `None` on miss —
+    /// including *corruption-as-miss*: an unreadable or unverifiable
+    /// entry is moved to the quarantine namespace (and counted in
+    /// `cache.quarantined`) so it can never be served, and the caller
+    /// recomputes.
+    pub fn get(&self, key: &CacheKey) -> Option<CacheHit> {
+        let registry = Registry::current();
+        let span = registry.span("cache.get");
+        let _in_get = span.enter();
+        let blob = key.blob_name();
+        let raw = match self.sink.read_file(&blob) {
+            Ok(raw) => raw,
+            Err(_) => {
+                registry.counter("cache.misses").incr();
+                return None;
+            }
+        };
+        match decode_entry(&raw) {
+            Ok(entry) => {
+                registry.counter("cache.hits").incr();
+                span.add_items(1);
+                span.add_bytes(entry.payload.len() as u64);
+                self.index
+                    .lock()
+                    .touch(&blob, raw.len() as u64, self.clock.now_ns());
+                if let Some(ledger) = &self.ledger {
+                    ledger.record(
+                        "cache_hit",
+                        [
+                            ("stage".to_string(), key.stage.clone()),
+                            ("key".to_string(), key.hex()),
+                            (
+                                "origin_trace".to_string(),
+                                entry
+                                    .origin_trace
+                                    .map(|t| t.to_string())
+                                    .unwrap_or_else(|| "none".to_string()),
+                            ),
+                        ],
+                        Vec::new(),
+                        vec![Artifact::new(&blob, &entry.payload)],
+                    );
+                }
+                Some(CacheHit {
+                    payload: entry.payload,
+                    records: entry.records,
+                    bytes: entry.bytes,
+                    origin_trace: entry.origin_trace,
+                })
+            }
+            Err(_) => {
+                self.quarantine(key, &blob, &raw);
+                registry.counter("cache.quarantined").incr();
+                registry.counter("cache.misses").incr();
+                None
+            }
+        }
+    }
+
+    /// Move a corrupt entry out of the serving namespace. Best-effort:
+    /// even if the quarantine copy cannot be written, the entry is
+    /// deleted so it cannot be served again.
+    fn quarantine(&self, key: &CacheKey, blob: &str, raw: &[u8]) {
+        let _ = self.sink.write_file(&key.quarantine_name(), raw);
+        let _ = self.sink.delete(blob);
+        self.index.lock().remove(blob);
+    }
+
+    /// Store a stage output under `key`, stamping the current TraceId
+    /// as the entry's origin, then evict least-recently-used entries
+    /// until the tracked total fits the capacity. Payloads whose entry
+    /// blob alone exceeds the capacity are not stored at all.
+    pub fn put(
+        &self,
+        key: &CacheKey,
+        payload: &[u8],
+        records: u64,
+        bytes: u64,
+    ) -> Result<(), IoError> {
+        let registry = Registry::current();
+        let span = registry.span("cache.put");
+        let _in_put = span.enter();
+        let origin = TraceContext::current().map(|ctx| ctx.trace_id().as_u64());
+        let entry = encode_entry(self.codec, origin, records, bytes, payload);
+        let entry_len = entry.len() as u64;
+        if entry_len > self.capacity_bytes {
+            return Ok(());
+        }
+        let blob = key.blob_name();
+        self.sink.write_file(&blob, &entry)?;
+        span.add_items(1);
+        span.add_bytes(entry_len);
+        let mut index = self.index.lock();
+        // Replacing an entry under the same key: drop the old size first.
+        index.remove(&blob);
+        index.touch(&blob, entry_len, self.clock.now_ns());
+        while index.total > self.capacity_bytes {
+            let Some(victim) = index.victim(&blob) else {
+                break;
+            };
+            let _ = self.sink.delete(&victim);
+            index.remove(&victim);
+            registry.counter("cache.evictions").incr();
+        }
+        Ok(())
+    }
+}
+
+/// Builder extension wiring a [`StageCache`] into pipeline stages —
+/// the cache-layer counterpart of `PipelineBuilder::retry_stage`.
+pub trait CachedPipelineExt<T> {
+    /// Add a stage whose output is memoized in `cache`. On a verified
+    /// hit the stage function never runs; its record/byte counters are
+    /// restored from the entry. On a miss (or quarantined corruption)
+    /// the function runs and its output is stored best-effort — a
+    /// failed cache write degrades to uncached behaviour, never to a
+    /// stage error.
+    ///
+    /// `config_fp` must fingerprint every configuration input that
+    /// affects the stage's output (see [`config_fingerprint`]).
+    fn cached_stage(
+        self,
+        name: &str,
+        kind: ProcessingStage,
+        cache: Arc<StageCache>,
+        config_fp: Vec<u8>,
+        func: impl Fn(T, &mut StageCounters) -> Result<T, String> + Send + Sync + 'static,
+    ) -> Self;
+
+    /// Like [`CachedPipelineExt::cached_stage`], with a semantic check
+    /// applied to each decoded hit: `check` returning false rejects the
+    /// hit and recomputes. Used by stages whose output references
+    /// external state (e.g. shard files that may have been deleted
+    /// since the entry was written).
+    fn cached_stage_with_check(
+        self,
+        name: &str,
+        kind: ProcessingStage,
+        cache: Arc<StageCache>,
+        config_fp: Vec<u8>,
+        check: impl Fn(&T) -> bool + Send + Sync + 'static,
+        func: impl Fn(T, &mut StageCounters) -> Result<T, String> + Send + Sync + 'static,
+    ) -> Self;
+}
+
+impl<T: CacheBytes + Send + Sync + 'static> CachedPipelineExt<T> for PipelineBuilder<T> {
+    fn cached_stage(
+        self,
+        name: &str,
+        kind: ProcessingStage,
+        cache: Arc<StageCache>,
+        config_fp: Vec<u8>,
+        func: impl Fn(T, &mut StageCounters) -> Result<T, String> + Send + Sync + 'static,
+    ) -> Self {
+        self.cached_stage_with_check(name, kind, cache, config_fp, |_| true, func)
+    }
+
+    fn cached_stage_with_check(
+        self,
+        name: &str,
+        kind: ProcessingStage,
+        cache: Arc<StageCache>,
+        config_fp: Vec<u8>,
+        check: impl Fn(&T) -> bool + Send + Sync + 'static,
+        func: impl Fn(T, &mut StageCounters) -> Result<T, String> + Send + Sync + 'static,
+    ) -> Self {
+        let stage_name = name.to_string();
+        let wrapped = move |input: T, counters: &mut StageCounters| {
+            let input_bytes = input.to_cache_bytes();
+            let key = CacheKey::compute(&stage_name, &input_bytes, &config_fp);
+            if let Some(hit) = cache.get(&key) {
+                // The digest already verified; a decode failure here
+                // means the payload schema drifted without a format
+                // version bump — recompute and overwrite.
+                if let Ok(output) = T::from_cache_bytes(&hit.payload) {
+                    if check(&output) {
+                        counters.records = hit.records;
+                        counters.bytes = hit.bytes;
+                        return Ok(output);
+                    }
+                }
+            }
+            let output = func(input, counters)?;
+            let _ = cache.put(
+                &key,
+                &output.to_cache_bytes(),
+                counters.records,
+                counters.bytes,
+            );
+            Ok(output)
+        };
+        self.stage(name, kind, wrapped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clock::LogicalClock;
+    use drai_core::pipeline::Pipeline;
+    use drai_core::readiness::ProcessingStage as S;
+    use drai_io::sink::MemSink;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn mem_cache(capacity: u64) -> StageCache {
+        StageCache::new(Arc::new(MemSink::new()), capacity)
+            .with_clock(Arc::new(LogicalClock::new()))
+    }
+
+    /// Run `f` against a fresh private registry and return its snapshot.
+    fn with_registry<R>(f: impl FnOnce() -> R) -> (R, drai_telemetry::Snapshot) {
+        let reg = Registry::new();
+        let out = TraceContext::root(&reg).scope(f);
+        (out, reg.snapshot())
+    }
+
+    #[test]
+    fn key_is_stable_and_component_sensitive() {
+        let base = CacheKey::compute("regrid", b"input", b"cfg");
+        assert_eq!(base, CacheKey::compute("regrid", b"input", b"cfg"));
+        assert_ne!(base, CacheKey::compute("normalize", b"input", b"cfg"));
+        assert_ne!(base, CacheKey::compute("regrid", b"inpuT", b"cfg"));
+        assert_ne!(base, CacheKey::compute("regrid", b"input", b"cfG"));
+        assert!(base.blob_name().starts_with("cache/regrid/"));
+        assert!(base.blob_name().ends_with(".entry"));
+    }
+
+    #[test]
+    fn miss_then_hit_round_trips_payload_and_counters() {
+        let cache = mem_cache(1 << 20);
+        let key = CacheKey::compute("s", b"in", b"");
+        let ((), snap) = with_registry(|| {
+            assert!(cache.get(&key).is_none());
+            cache.put(&key, b"payload bytes", 7, 13).unwrap();
+            let hit = cache.get(&key).expect("hit after put");
+            assert_eq!(hit.payload, b"payload bytes");
+            assert_eq!(hit.records, 7);
+            assert_eq!(hit.bytes, 13);
+            // A trace context is attached (with_registry), so the origin
+            // trace must be stamped.
+            assert!(hit.origin_trace.is_some());
+        });
+        assert_eq!(snap.counters["cache.misses"], 1);
+        assert_eq!(snap.counters["cache.hits"], 1);
+        assert!(!snap.spans_named("cache.get").is_empty());
+        assert!(!snap.spans_named("cache.put").is_empty());
+    }
+
+    #[test]
+    fn entries_survive_all_codecs() {
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i % 7) as u8).collect();
+        for codec in [
+            CodecId::Raw,
+            CodecId::Rle,
+            CodecId::Delta { width: 1 },
+            CodecId::Delta { width: 2 },
+            CodecId::Delta { width: 4 },
+            CodecId::Delta { width: 8 },
+            CodecId::Lz,
+        ] {
+            let cache = mem_cache(1 << 20).with_codec(codec);
+            let key = CacheKey::compute("s", b"in", b"");
+            let ((), _snap) = with_registry(|| {
+                cache.put(&key, &payload, 1, payload.len() as u64).unwrap();
+                let hit = cache.get(&key).expect("hit");
+                assert_eq!(hit.payload, payload, "codec {}", codec.name());
+            });
+        }
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_never_served() {
+        let sink = Arc::new(MemSink::new());
+        let cache =
+            StageCache::new(sink.clone(), 1 << 20).with_clock(Arc::new(LogicalClock::new()));
+        let key = CacheKey::compute("s", b"in", b"");
+        let ((), snap) = with_registry(|| {
+            cache.put(&key, b"good payload", 1, 12).unwrap();
+            // Flip one payload byte behind the cache's back.
+            let blob = key.blob_name();
+            let mut raw = sink.read_file(&blob).unwrap();
+            let last = raw.len() - 1;
+            raw[last] ^= 0x40;
+            sink.write_file(&blob, &raw).unwrap();
+            assert!(cache.get(&key).is_none(), "corrupt entry must not serve");
+            // The entry moved to quarantine and a re-read is a plain miss.
+            assert!(!sink.exists(&blob));
+            let names = sink.list().unwrap();
+            assert!(
+                names.iter().any(|n| n.starts_with("cache/quarantine/")),
+                "{names:?}"
+            );
+            assert!(cache.get(&key).is_none());
+        });
+        assert_eq!(snap.counters["cache.quarantined"], 1);
+        assert_eq!(snap.counters["cache.misses"], 2);
+        assert_eq!(snap.counters.get("cache.hits"), None);
+    }
+
+    #[test]
+    fn truncated_and_bad_magic_entries_quarantine() {
+        for mutate in [
+            // Truncate mid-header.
+            (|raw: &mut Vec<u8>| raw.truncate(10)) as fn(&mut Vec<u8>),
+            // Clobber the magic.
+            |raw: &mut Vec<u8>| raw[0] = b'X',
+            // Trailing garbage.
+            |raw: &mut Vec<u8>| raw.push(0),
+        ] {
+            let sink = Arc::new(MemSink::new());
+            let cache =
+                StageCache::new(sink.clone(), 1 << 20).with_clock(Arc::new(LogicalClock::new()));
+            let key = CacheKey::compute("s", b"in", b"");
+            let ((), snap) = with_registry(|| {
+                cache.put(&key, b"payload", 0, 0).unwrap();
+                let blob = key.blob_name();
+                let mut raw = sink.read_file(&blob).unwrap();
+                mutate(&mut raw);
+                sink.write_file(&blob, &raw).unwrap();
+                assert!(cache.get(&key).is_none());
+            });
+            assert_eq!(snap.counters["cache.quarantined"], 1);
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        // Each entry blob is identical in size; capacity fits two.
+        let payload = [0u8; 128];
+        let cache = mem_cache(500);
+        let ka = CacheKey::compute("s", b"a", b"");
+        let kb = CacheKey::compute("s", b"b", b"");
+        let kc = CacheKey::compute("s", b"c", b"");
+        let ((), snap) = with_registry(|| {
+            cache.put(&ka, &payload, 0, 0).unwrap();
+            cache.put(&kb, &payload, 0, 0).unwrap();
+            // Touch `a` so `b` becomes the LRU victim.
+            assert!(cache.get(&ka).is_some());
+            cache.put(&kc, &payload, 0, 0).unwrap();
+            assert!(cache.get(&kb).is_none(), "LRU entry must be evicted");
+            assert!(cache.get(&ka).is_some(), "recently used entry survives");
+            assert!(cache.get(&kc).is_some(), "just-inserted entry survives");
+        });
+        assert_eq!(snap.counters["cache.evictions"], 1);
+        assert!(cache.tracked_bytes() <= 500);
+        assert_eq!(cache.tracked_entries(), 2);
+    }
+
+    #[test]
+    fn oversized_payload_is_not_stored() {
+        let cache = mem_cache(64);
+        let key = CacheKey::compute("s", b"in", b"");
+        let ((), snap) = with_registry(|| {
+            cache.put(&key, &[0u8; 1024], 0, 0).unwrap();
+            assert!(cache.get(&key).is_none());
+        });
+        assert_eq!(cache.tracked_entries(), 0);
+        assert_eq!(snap.counters.get("cache.evictions"), None);
+    }
+
+    #[test]
+    fn pre_existing_blobs_enter_the_index_on_hit() {
+        // A cache restarted over a sink that already holds entries must
+        // learn their sizes so eviction accounting stays correct.
+        let sink = Arc::new(MemSink::new());
+        let key = CacheKey::compute("s", b"in", b"");
+        let ((), _snap) = with_registry(|| {
+            let first =
+                StageCache::new(sink.clone(), 1 << 20).with_clock(Arc::new(LogicalClock::new()));
+            first.put(&key, b"payload", 0, 0).unwrap();
+        });
+        let restarted =
+            StageCache::new(sink.clone(), 1 << 20).with_clock(Arc::new(LogicalClock::new()));
+        assert_eq!(restarted.tracked_entries(), 0);
+        let ((), _snap) = with_registry(|| {
+            assert!(restarted.get(&key).is_some());
+        });
+        assert_eq!(restarted.tracked_entries(), 1);
+        assert!(restarted.tracked_bytes() > 0);
+    }
+
+    #[test]
+    fn cached_stage_skips_recompute_and_restores_counters() {
+        let cache = Arc::new(mem_cache(1 << 20));
+        let calls = Arc::new(AtomicU32::new(0));
+        let calls_in_stage = calls.clone();
+        let pipeline: Pipeline<Vec<f64>> = Pipeline::builder("cache-unit")
+            .cached_stage(
+                "double",
+                S::Transform,
+                cache.clone(),
+                config_fingerprint([("factor", "2".to_string())]),
+                move |v: Vec<f64>, c| {
+                    calls_in_stage.fetch_add(1, Ordering::SeqCst);
+                    c.records = v.len() as u64;
+                    c.bytes = (v.len() * 8) as u64;
+                    Ok(v.into_iter().map(|x| x * 2.0).collect())
+                },
+            )
+            .build();
+        let ((), snap) = with_registry(|| {
+            let cold = pipeline.run(vec![1.0, 2.0, 3.0]).unwrap();
+            assert_eq!(cold.output, vec![2.0, 4.0, 6.0]);
+            let warm = pipeline.run(vec![1.0, 2.0, 3.0]).unwrap();
+            assert_eq!(warm.output, vec![2.0, 4.0, 6.0]);
+            // Counters on the warm run come from the entry, not the fn.
+            assert_eq!(warm.stage("double").unwrap().throughput.records, 3);
+            assert_eq!(warm.stage("double").unwrap().throughput.bytes, 24);
+            // Different input → recompute.
+            pipeline.run(vec![5.0]).unwrap();
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "one cold run per input");
+        assert_eq!(snap.counters["cache.hits"], 1);
+        assert_eq!(snap.counters["cache.misses"], 2);
+    }
+
+    #[test]
+    fn config_fingerprint_invalidates() {
+        let cache = Arc::new(mem_cache(1 << 20));
+        let build = |factor: f64, cache: Arc<StageCache>| -> Pipeline<Vec<f64>> {
+            Pipeline::builder("cache-cfg")
+                .cached_stage(
+                    "scale",
+                    S::Transform,
+                    cache,
+                    config_fingerprint([("factor", format!("{factor}"))]),
+                    move |v: Vec<f64>, _| Ok(v.into_iter().map(|x| x * factor).collect()),
+                )
+                .build()
+        };
+        let ((), snap) = with_registry(|| {
+            let out2 = build(2.0, cache.clone()).run(vec![1.0]).unwrap().output;
+            let out3 = build(3.0, cache.clone()).run(vec![1.0]).unwrap().output;
+            assert_eq!(out2, vec![2.0]);
+            assert_eq!(out3, vec![3.0], "config change must invalidate");
+        });
+        assert_eq!(snap.counters["cache.misses"], 2);
+        assert_eq!(snap.counters.get("cache.hits"), None);
+    }
+
+    #[test]
+    fn rejected_check_recomputes() {
+        let cache = Arc::new(mem_cache(1 << 20));
+        let calls = Arc::new(AtomicU32::new(0));
+        let calls_in_stage = calls.clone();
+        let pipeline: Pipeline<Vec<f64>> = Pipeline::builder("cache-check")
+            .cached_stage_with_check(
+                "picky",
+                S::Transform,
+                cache.clone(),
+                Vec::new(),
+                |_| false, // every hit is rejected
+                move |v: Vec<f64>, _| {
+                    calls_in_stage.fetch_add(1, Ordering::SeqCst);
+                    Ok(v)
+                },
+            )
+            .build();
+        let ((), snap) = with_registry(|| {
+            pipeline.run(vec![1.0]).unwrap();
+            pipeline.run(vec![1.0]).unwrap();
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        // The lookup itself still hit; the semantic check rejected it.
+        assert_eq!(snap.counters["cache.hits"], 1);
+    }
+
+    #[test]
+    fn hits_record_provenance_with_origin_trace() {
+        let ledger = Arc::new(Ledger::new());
+        let cache = Arc::new(mem_cache(1 << 20).with_ledger(ledger.clone()));
+        let key = CacheKey::compute("s", b"in", b"");
+        let ((), _snap) = with_registry(|| {
+            cache.put(&key, b"payload", 1, 7).unwrap();
+        });
+        let (origin, _snap) = with_registry(|| {
+            let hit = cache.get(&key).expect("hit");
+            hit.origin_trace.expect("origin trace stamped at put")
+        });
+        assert_eq!(ledger.len(), 1);
+        let produced = ledger
+            .producer(&drai_provenance::ArtifactId::of(b"payload"))
+            .expect("hit recorded as producer of the payload artifact");
+        assert_eq!(produced.operation, "cache_hit");
+        assert_eq!(produced.params["stage"], "s");
+        assert_eq!(produced.params["origin_trace"], origin.to_string());
+        assert!(produced.trace.is_some(), "hit stamped with current trace");
+    }
+
+    #[test]
+    fn entry_decode_rejects_wrong_version() {
+        let entry = encode_entry(CodecId::Raw, None, 0, 0, b"p");
+        // Version field sits at bytes 4..12.
+        let mut bad = entry.clone();
+        bad[4] ^= 0xFF;
+        assert!(decode_entry(&bad).is_err());
+        assert!(decode_entry(&entry).is_ok());
+    }
+}

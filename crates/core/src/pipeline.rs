@@ -458,6 +458,87 @@ mod tests {
     }
 
     #[test]
+    fn batch_of_empty_input_yields_no_outputs_or_metrics() {
+        let p = doubling_pipeline();
+        let (outputs, metrics) = p.run_batch(Vec::new()).unwrap();
+        assert!(outputs.is_empty());
+        assert!(
+            metrics.is_empty(),
+            "no per-item runs to merge, so no merged stage metrics"
+        );
+        // The batch span is still emitted (zero items) and no per-stage
+        // counters move.
+        let snap = drai_telemetry::Registry::global().snapshot();
+        let batch = snap.spans_named("pipeline.test.run_batch");
+        assert!(batch.iter().any(|s| s.items == 0));
+    }
+
+    #[test]
+    fn batch_of_one_matches_a_sequential_run() {
+        let p: Pipeline<Vec<f64>> = Pipeline::builder("batch-single")
+            .stage("double", S::Transform, |v: Vec<f64>, c| {
+                c.records = v.len() as u64;
+                c.bytes = (v.len() * 8) as u64;
+                Ok(v.into_iter().map(|x| x * 2.0).collect())
+            })
+            .build();
+        let (outputs, metrics) = p.run_batch(vec![vec![1.0, 2.0, 3.0]]).unwrap();
+        assert_eq!(outputs, vec![vec![2.0, 4.0, 6.0]]);
+        // A single-item batch merges to exactly that item's counters —
+        // nothing is double-counted by the merge seeding.
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(metrics[0].name, "double");
+        assert_eq!(metrics[0].throughput.records, 3);
+        assert_eq!(metrics[0].throughput.bytes, 24);
+        let snap = drai_telemetry::Registry::global().snapshot();
+        assert_eq!(snap.counters["pipeline.batch-single.double.records"], 3);
+        assert_eq!(snap.histograms["pipeline.batch-single.double.ns"].count, 1);
+    }
+
+    #[test]
+    fn batch_error_mid_batch_emits_no_merged_metrics() {
+        use drai_telemetry::{Registry, TraceContext};
+        let reg = Registry::new();
+        let p: Pipeline<i32> = Pipeline::builder("batch-err")
+            .stage("pass", S::Ingest, |x, c| {
+                c.records = 1;
+                Ok(x)
+            })
+            .stage("maybe", S::Transform, |x, c| {
+                if x == 7 {
+                    Err("unlucky".into())
+                } else {
+                    c.records = 1;
+                    Ok(x)
+                }
+            })
+            .build();
+        let err = TraceContext::root(&reg)
+            .scope(|| p.run_batch((0..16).collect()))
+            .unwrap_err();
+        match err {
+            CoreError::Stage { stage, message } => {
+                assert_eq!(stage, "maybe");
+                assert_eq!(message, "unlucky");
+            }
+            other => panic!("{other:?}"),
+        }
+        // The failed batch publishes no merged per-stage counters or
+        // latency histograms — even for the stage that succeeded on
+        // other items — so dashboards never mix partial batches in.
+        let snap = reg.snapshot();
+        assert!(!snap
+            .counters
+            .contains_key("pipeline.batch-err.pass.records"));
+        assert!(!snap
+            .counters
+            .contains_key("pipeline.batch-err.maybe.records"));
+        assert!(!snap.histograms.contains_key("pipeline.batch-err.pass.ns"));
+        // The batch span itself still records the attempt.
+        assert_eq!(snap.spans_named("pipeline.batch-err.run_batch").len(), 1);
+    }
+
+    #[test]
     fn batch_propagates_errors() {
         let p: Pipeline<i32> = Pipeline::builder("pb")
             .stage("maybe", S::Transform, |x, _| {

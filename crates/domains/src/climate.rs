@@ -266,6 +266,197 @@ pub struct ClimateData {
     pub normalizers: Vec<Normalizer>,
 }
 
+/// Stage body: schema/shape validation — every variable complete on the
+/// grid. Shared by the plain and cached (`crate::cached`) builders.
+pub(crate) fn validate_stage(
+    data: ClimateData,
+    c: &mut StageCounters,
+) -> Result<ClimateData, String> {
+    let expect = data.timesteps * data.grid.ncells();
+    for (vi, f) in data.fields.iter().enumerate() {
+        if f.len() != expect {
+            return Err(format!(
+                "variable {vi}: {} values, expected {expect}",
+                f.len()
+            ));
+        }
+    }
+    c.records = data.timesteps as u64;
+    c.bytes = (data.fields.len() * expect * 8) as u64;
+    Ok(data)
+}
+
+/// Stage body: bilinear/conservative remap onto the target grid.
+pub(crate) fn regrid_stage(
+    cfg: &ClimateConfig,
+    ledger: &Ledger,
+    mut data: ClimateData,
+    c: &mut StageCounters,
+) -> Result<ClimateData, String> {
+    let src = data.grid.clone();
+    let dst = cfg.dst_grid.clone();
+    let ncells_src = src.ncells();
+    let regridded: Result<Vec<Vec<f64>>, String> = data
+        .fields
+        .par_iter()
+        .enumerate()
+        .map(|(vi, stack)| {
+            let conservative = VARIABLES[vi].2;
+            let mut out = Vec::with_capacity(data.timesteps * dst.ncells());
+            for t in 0..data.timesteps {
+                let field = &stack[t * ncells_src..(t + 1) * ncells_src];
+                let r = if conservative {
+                    regrid::conservative(&src, field, &dst)
+                } else {
+                    regrid::bilinear(&src, field, &dst)
+                }
+                .map_err(|e| format!("{e}"))?;
+                out.extend(r);
+            }
+            Ok(out)
+        })
+        .collect();
+    data.fields = regridded?;
+    ledger.record(
+        "regrid",
+        [
+            ("src".to_string(), format!("{}x{}", src.nlat(), src.nlon())),
+            ("dst".to_string(), format!("{}x{}", dst.nlat(), dst.nlon())),
+        ],
+        vec![],
+        vec![],
+    );
+    data.grid = dst;
+    c.records = data.timesteps as u64;
+    c.bytes = (data.fields.len() * data.timesteps * data.grid.ncells() * 8) as u64;
+    Ok(data)
+}
+
+/// Stage body: per-variable z-score via parallel Welford reduction.
+pub(crate) fn normalize_stage(
+    ledger: &Ledger,
+    mut data: ClimateData,
+    c: &mut StageCounters,
+) -> Result<ClimateData, String> {
+    let normalizers: Result<Vec<Normalizer>, String> = data
+        .fields
+        .par_iter()
+        .map(|stack| {
+            let w = stack
+                .par_chunks(64 * 1024)
+                .map(|chunk| {
+                    let mut w = Welford::new();
+                    w.extend(chunk);
+                    w
+                })
+                .reduce(Welford::new, |a, b| a.merge(&b));
+            Normalizer::from_welford(Method::ZScore, &w).map_err(|e| format!("{e}"))
+        })
+        .collect();
+    let normalizers = normalizers?;
+    data.fields
+        .par_iter_mut()
+        .zip(normalizers.par_iter())
+        .for_each(|(stack, n)| n.apply_slice(stack));
+    for (vi, n) in normalizers.iter().enumerate() {
+        ledger.record(
+            "normalize",
+            [
+                ("variable".to_string(), VARIABLES[vi].0.to_string()),
+                ("method".to_string(), "zscore".to_string()),
+                ("mean".to_string(), format!("{:.6}", n.offset)),
+                ("std".to_string(), format!("{:.6}", n.scale)),
+            ],
+            vec![],
+            vec![],
+        );
+    }
+    data.normalizers = normalizers;
+    c.records = data.timesteps as u64;
+    c.bytes = (data.fields.len() * data.timesteps * data.grid.ncells() * 8) as u64;
+    Ok(data)
+}
+
+/// Stage body: split by timestep key and pack NPZ shards — one NPZ
+/// record per timestep with `{var}.npy` members of `[lat,lon]` f32 (the
+/// ClimaX layout).
+pub(crate) fn shard_stage(
+    cfg: &ClimateConfig,
+    sink: &dyn StorageSink,
+    ledger: &Ledger,
+    data: ClimateData,
+    c: &mut StageCounters,
+) -> Result<ClimateData, String> {
+    let ncells = data.grid.ncells();
+    let shape = data.grid.shape();
+    let mut split_records: [Vec<Vec<u8>>; 3] = [vec![], vec![], vec![]];
+    let records: Vec<(Split, Vec<u8>)> = (0..data.timesteps)
+        .into_par_iter()
+        .map(|t| {
+            let entries: Vec<ZipEntry> = data
+                .fields
+                .iter()
+                .enumerate()
+                .map(|(vi, stack)| {
+                    let field: Vec<f32> = stack[t * ncells..(t + 1) * ncells]
+                        .iter()
+                        .map(|&x| x as f32)
+                        .collect();
+                    let tensor =
+                        Tensor::from_vec(field, &[shape[0], shape[1]]).expect("grid shape");
+                    ZipEntry {
+                        name: format!("{}.npy", VARIABLES[vi].0),
+                        data: write_npy(&tensor),
+                    }
+                })
+                .collect();
+            let split =
+                assign(&format!("t{t:06}"), cfg.seed, cfg.fractions).expect("validated fractions");
+            (
+                split,
+                write_zip(&entries).expect("shards are far below the 4 GiB zip limit"),
+            )
+        })
+        .collect();
+    for (split, rec) in records {
+        let idx = match split {
+            Split::Train => 0,
+            Split::Validation => 1,
+            Split::Test => 2,
+        };
+        split_records[idx].push(rec);
+    }
+    let mut total_bytes = 0u64;
+    for (idx, split) in [Split::Train, Split::Validation, Split::Test]
+        .iter()
+        .enumerate()
+    {
+        if split_records[idx].is_empty() {
+            continue;
+        }
+        let spec = ShardSpec::new(format!("climate/{}", split.name()), cfg.shard_bytes);
+        let manifest = ShardWriter::new(spec, sink)
+            .write_all(&split_records[idx])
+            .map_err(|e| format!("{e}"))?;
+        total_bytes += manifest.payload_bytes;
+        for shard in &manifest.shards {
+            let content = sink.read_file(&shard.name).map_err(|e| format!("{e}"))?;
+            ledger.record(
+                "shard",
+                [
+                    ("split".to_string(), split.name().to_string()),
+                    ("format".to_string(), "npz".to_string()),
+                ],
+                vec![],
+                vec![Artifact::new(&shard.name, &content)],
+            );
+        }
+    }
+    c.records = data.timesteps as u64;
+    c.bytes = total_bytes;
+    Ok(data)
+}
+
 /// Build the four-stage climate pipeline (stateless; shares the sink and
 /// ledger through `Arc`s).
 pub fn build_pipeline(
@@ -281,183 +472,15 @@ pub fn build_pipeline(
     let sink_shard = sink;
 
     Pipeline::builder("climate")
-        .stage(
-            "validate",
-            S::Ingest,
-            move |data: ClimateData, c: &mut StageCounters| {
-                // Schema/shape validation: every variable complete on the grid.
-                let expect = data.timesteps * data.grid.ncells();
-                for (vi, f) in data.fields.iter().enumerate() {
-                    if f.len() != expect {
-                        return Err(format!(
-                            "variable {vi}: {} values, expected {expect}",
-                            f.len()
-                        ));
-                    }
-                }
-                c.records = data.timesteps as u64;
-                c.bytes = (data.fields.len() * expect * 8) as u64;
-                Ok(data)
-            },
-        )
-        .stage("regrid", S::Preprocess, move |mut data: ClimateData, c| {
-            let src = data.grid.clone();
-            let dst = cfg_regrid.dst_grid.clone();
-            let ncells_src = src.ncells();
-            let regridded: Result<Vec<Vec<f64>>, String> = data
-                .fields
-                .par_iter()
-                .enumerate()
-                .map(|(vi, stack)| {
-                    let conservative = VARIABLES[vi].2;
-                    let mut out = Vec::with_capacity(data.timesteps * dst.ncells());
-                    for t in 0..data.timesteps {
-                        let field = &stack[t * ncells_src..(t + 1) * ncells_src];
-                        let r = if conservative {
-                            regrid::conservative(&src, field, &dst)
-                        } else {
-                            regrid::bilinear(&src, field, &dst)
-                        }
-                        .map_err(|e| format!("{e}"))?;
-                        out.extend(r);
-                    }
-                    Ok(out)
-                })
-                .collect();
-            data.fields = regridded?;
-            ledger_regrid.record(
-                "regrid",
-                [
-                    ("src".to_string(), format!("{}x{}", src.nlat(), src.nlon())),
-                    ("dst".to_string(), format!("{}x{}", dst.nlat(), dst.nlon())),
-                ],
-                vec![],
-                vec![],
-            );
-            data.grid = dst;
-            c.records = data.timesteps as u64;
-            c.bytes = (data.fields.len() * data.timesteps * data.grid.ncells() * 8) as u64;
-            Ok(data)
+        .stage("validate", S::Ingest, validate_stage)
+        .stage("regrid", S::Preprocess, move |data: ClimateData, c| {
+            regrid_stage(&cfg_regrid, &ledger_regrid, data, c)
         })
-        .stage(
-            "normalize",
-            S::Transform,
-            move |mut data: ClimateData, c| {
-                // Parallel Welford reduction per variable across timesteps.
-                let normalizers: Result<Vec<Normalizer>, String> = data
-                    .fields
-                    .par_iter()
-                    .map(|stack| {
-                        let w = stack
-                            .par_chunks(64 * 1024)
-                            .map(|chunk| {
-                                let mut w = Welford::new();
-                                w.extend(chunk);
-                                w
-                            })
-                            .reduce(Welford::new, |a, b| a.merge(&b));
-                        Normalizer::from_welford(Method::ZScore, &w).map_err(|e| format!("{e}"))
-                    })
-                    .collect();
-                let normalizers = normalizers?;
-                data.fields
-                    .par_iter_mut()
-                    .zip(normalizers.par_iter())
-                    .for_each(|(stack, n)| n.apply_slice(stack));
-                for (vi, n) in normalizers.iter().enumerate() {
-                    ledger_norm.record(
-                        "normalize",
-                        [
-                            ("variable".to_string(), VARIABLES[vi].0.to_string()),
-                            ("method".to_string(), "zscore".to_string()),
-                            ("mean".to_string(), format!("{:.6}", n.offset)),
-                            ("std".to_string(), format!("{:.6}", n.scale)),
-                        ],
-                        vec![],
-                        vec![],
-                    );
-                }
-                data.normalizers = normalizers;
-                c.records = data.timesteps as u64;
-                c.bytes = (data.fields.len() * data.timesteps * data.grid.ncells() * 8) as u64;
-                Ok(data)
-            },
-        )
+        .stage("normalize", S::Transform, move |data: ClimateData, c| {
+            normalize_stage(&ledger_norm, data, c)
+        })
         .stage("shard", S::Shard, move |data: ClimateData, c| {
-            // One NPZ record per timestep: members {var}.npy of [lat,lon]
-            // f32 — the ClimaX layout. Split by timestep key, shard each
-            // split.
-            let ncells = data.grid.ncells();
-            let shape = data.grid.shape();
-            let mut split_records: [Vec<Vec<u8>>; 3] = [vec![], vec![], vec![]];
-            let records: Vec<(Split, Vec<u8>)> = (0..data.timesteps)
-                .into_par_iter()
-                .map(|t| {
-                    let entries: Vec<ZipEntry> = data
-                        .fields
-                        .iter()
-                        .enumerate()
-                        .map(|(vi, stack)| {
-                            let field: Vec<f32> = stack[t * ncells..(t + 1) * ncells]
-                                .iter()
-                                .map(|&x| x as f32)
-                                .collect();
-                            let tensor =
-                                Tensor::from_vec(field, &[shape[0], shape[1]]).expect("grid shape");
-                            ZipEntry {
-                                name: format!("{}.npy", VARIABLES[vi].0),
-                                data: write_npy(&tensor),
-                            }
-                        })
-                        .collect();
-                    let split = assign(&format!("t{t:06}"), cfg_shard.seed, cfg_shard.fractions)
-                        .expect("validated fractions");
-                    (
-                        split,
-                        write_zip(&entries).expect("shards are far below the 4 GiB zip limit"),
-                    )
-                })
-                .collect();
-            for (split, rec) in records {
-                let idx = match split {
-                    Split::Train => 0,
-                    Split::Validation => 1,
-                    Split::Test => 2,
-                };
-                split_records[idx].push(rec);
-            }
-            let mut total_bytes = 0u64;
-            for (idx, split) in [Split::Train, Split::Validation, Split::Test]
-                .iter()
-                .enumerate()
-            {
-                if split_records[idx].is_empty() {
-                    continue;
-                }
-                let spec =
-                    ShardSpec::new(format!("climate/{}", split.name()), cfg_shard.shard_bytes);
-                let manifest = ShardWriter::new(spec, sink_shard.as_ref())
-                    .write_all(&split_records[idx])
-                    .map_err(|e| format!("{e}"))?;
-                total_bytes += manifest.payload_bytes;
-                for shard in &manifest.shards {
-                    let content = sink_shard
-                        .read_file(&shard.name)
-                        .map_err(|e| format!("{e}"))?;
-                    ledger_shard.record(
-                        "shard",
-                        [
-                            ("split".to_string(), split.name().to_string()),
-                            ("format".to_string(), "npz".to_string()),
-                        ],
-                        vec![],
-                        vec![Artifact::new(&shard.name, &content)],
-                    );
-                }
-            }
-            c.records = data.timesteps as u64;
-            c.bytes = total_bytes;
-            Ok(data)
+            shard_stage(&cfg_shard, sink_shard.as_ref(), &ledger_shard, data, c)
         })
         .build()
 }

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bio;
+pub mod cached;
 pub mod climate;
 pub mod fusion;
 pub mod materials;

@@ -264,207 +264,230 @@ pub fn neighbor_pairs(positions: &[[f64; 3]], cutoff: f64) -> Vec<(usize, usize,
     pairs
 }
 
+/// Stage body: validate parsed frames (atom counts, energies present).
+/// Shared by the plain and cached (`crate::cached`) builders.
+pub(crate) fn parse_stage(
+    data: MaterialsData,
+    c: &mut StageCounters,
+) -> Result<MaterialsData, String> {
+    for (i, f) in data.frames.iter().enumerate() {
+        if f.atoms.is_empty() {
+            return Err(format!("frame {i}: no atoms"));
+        }
+        if f.energy().is_none() {
+            return Err(format!("frame {i}: missing energy"));
+        }
+    }
+    c.records = data.frames.len() as u64;
+    c.bytes = data
+        .frames
+        .iter()
+        .map(|f| (f.atoms.len() * 48) as u64)
+        .sum();
+    Ok(data)
+}
+
+/// Stage body: per-atom energy statistics (parallel Welford merge).
+pub(crate) fn normalize_stage(
+    ledger: &Ledger,
+    mut data: MaterialsData,
+    c: &mut StageCounters,
+) -> Result<MaterialsData, String> {
+    let w = data
+        .frames
+        .par_iter()
+        .map(|f| {
+            let mut w = Welford::new();
+            w.push(f.energy().expect("validated") / f.atoms.len() as f64);
+            w
+        })
+        .reduce(Welford::new, |a, b| a.merge(&b));
+    let std = if w.std() < f64::EPSILON { 1.0 } else { w.std() };
+    data.energy_stats = (w.mean(), std);
+    ledger.record(
+        "normalize",
+        [
+            ("target".to_string(), "energy_per_atom".to_string()),
+            ("mean".to_string(), format!("{:.6}", w.mean())),
+            ("std".to_string(), format!("{std:.6}")),
+        ],
+        vec![],
+        vec![],
+    );
+    c.records = data.frames.len() as u64;
+    Ok(data)
+}
+
+/// Stage body: cutoff-radius neighbor graphs (cell-list search), species
+/// one-hot node features, distance edge features.
+pub(crate) fn encode_stage(
+    cfg: &MaterialsConfig,
+    mut data: MaterialsData,
+    c: &mut StageCounters,
+) -> Result<MaterialsData, String> {
+    let species_index = |el: &str| SPECIES.iter().position(|(s, _)| *s == el);
+    let (e_mean, e_std) = data.energy_stats;
+    let graphs: Result<Vec<GraphSample>, String> = data
+        .frames
+        .par_iter()
+        .enumerate()
+        .map(|(si, frame)| {
+            let n = frame.atoms.len();
+            let positions: Vec<[f64; 3]> = frame.atoms.iter().map(|a| a.position).collect();
+            let pairs = neighbor_pairs(&positions, cfg.cutoff);
+            // Node features: species one-hot.
+            let mut nf = vec![0.0f32; n * SPECIES.len()];
+            for (i, atom) in frame.atoms.iter().enumerate() {
+                let k = species_index(&atom.element)
+                    .ok_or_else(|| format!("unknown species {}", atom.element))?;
+                nf[i * SPECIES.len() + k] = 1.0;
+            }
+            // Bidirectional edges.
+            let mut edges = Vec::with_capacity(pairs.len() * 4);
+            let mut lens = Vec::with_capacity(pairs.len() * 2);
+            for &(a, b, r) in &pairs {
+                edges.push(a as i64);
+                edges.push(b as i64);
+                lens.push(r as f32);
+                edges.push(b as i64);
+                edges.push(a as i64);
+                lens.push(r as f32);
+            }
+            let forces: Vec<f32> = frame
+                .atoms
+                .iter()
+                .flat_map(|a| a.force.unwrap_or([0.0; 3]))
+                .map(|x| x as f32)
+                .collect();
+            let nedges = lens.len();
+            Ok(GraphSample {
+                structure_id: si,
+                node_features: Tensor::from_vec(nf, &[n, SPECIES.len()])
+                    .map_err(|e| format!("{e}"))?,
+                edges: Tensor::from_vec(edges, &[nedges, 2]).map_err(|e| format!("{e}"))?,
+                edge_lengths: Tensor::from_vec(lens, &[nedges]).map_err(|e| format!("{e}"))?,
+                energy_per_atom: (frame.energy().expect("validated") / n as f64 - e_mean) / e_std,
+                forces: Tensor::from_vec(forces, &[n, 3]).map_err(|e| format!("{e}"))?,
+            })
+        })
+        .collect();
+    data.graphs = graphs?;
+    c.records = data.graphs.len() as u64;
+    c.bytes = data
+        .graphs
+        .iter()
+        .map(|g| {
+            ((g.node_features.len() + g.edge_lengths.len() + g.forces.len()) * 4
+                + g.edges.len() * 8) as u64
+        })
+        .sum();
+    Ok(data)
+}
+
+/// Stage body: BP writer per split + a JSONL sidecar of sample metadata.
+pub(crate) fn shard_stage(
+    cfg: &MaterialsConfig,
+    sink: &dyn StorageSink,
+    ledger: &Ledger,
+    data: MaterialsData,
+    c: &mut StageCounters,
+) -> Result<MaterialsData, String> {
+    let mut writers = [BpWriter::new(), BpWriter::new(), BpWriter::new()];
+    let mut sidecars = [String::new(), String::new(), String::new()];
+    let mut counts = [0usize; 3];
+    for g in &data.graphs {
+        let split = assign(
+            &format!("structure-{}", g.structure_id),
+            cfg.seed,
+            cfg.fractions,
+        )
+        .expect("validated fractions");
+        let idx = match split {
+            Split::Train => 0,
+            Split::Validation => 1,
+            Split::Test => 2,
+        };
+        let mut energy = Tensor::<f64>::zeros(&[1]);
+        energy.set(&[0], g.energy_per_atom).expect("index 0");
+        writers[idx].append(&ProcessGroup {
+            name: format!("structure-{}", g.structure_id),
+            step: g.structure_id as u64,
+            vars: vec![
+                BpVar::from_tensor("node_features", &g.node_features),
+                BpVar::from_tensor("edges", &g.edges),
+                BpVar::from_tensor("edge_lengths", &g.edge_lengths),
+                BpVar::from_tensor("energy_per_atom", &energy),
+                BpVar::from_tensor("forces", &g.forces),
+            ],
+        });
+        sidecars[idx].push_str(
+            &Json::obj([
+                ("structure", Json::from(g.structure_id)),
+                ("atoms", Json::from(g.node_features.shape()[0])),
+                ("edges", Json::from(g.edge_lengths.len())),
+                ("energy_per_atom", Json::from(g.energy_per_atom)),
+            ])
+            .to_string_compact(),
+        );
+        sidecars[idx].push('\n');
+        counts[idx] += 1;
+    }
+    let mut total = 0u64;
+    for (idx, split) in [Split::Train, Split::Validation, Split::Test]
+        .iter()
+        .enumerate()
+    {
+        if counts[idx] == 0 {
+            continue;
+        }
+        let writer = std::mem::take(&mut writers[idx]);
+        // take() leaves a default BpWriter (no magic); only the
+        // original, which has magic + groups, is finished here.
+        let bytes = writer.finish();
+        let name = format!("materials/{}.bp", split.name());
+        sink.write_file(&name, &bytes).map_err(|e| format!("{e}"))?;
+        sink.write_file(
+            &format!("materials/{}.jsonl", split.name()),
+            sidecars[idx].as_bytes(),
+        )
+        .map_err(|e| format!("{e}"))?;
+        total += bytes.len() as u64;
+        ledger.record(
+            "shard",
+            [
+                ("split".to_string(), split.name().to_string()),
+                ("format".to_string(), "bp+jsonl".to_string()),
+            ],
+            vec![],
+            vec![Artifact::new(&name, &bytes)],
+        );
+    }
+    c.records = data.graphs.len() as u64;
+    c.bytes = total;
+    Ok(data)
+}
+
 /// Build the materials pipeline.
 pub fn build_pipeline(
     cfg: &MaterialsConfig,
     sink: Arc<dyn StorageSink>,
     ledger: Arc<Ledger>,
 ) -> Pipeline<MaterialsData> {
-    let cfg_norm = cfg.clone();
     let cfg_encode = cfg.clone();
     let cfg_shard = cfg.clone();
     let ledger_shard = ledger.clone();
     let ledger_norm = ledger;
 
     Pipeline::builder("materials")
-        .stage(
-            "parse",
-            S::Ingest,
-            move |data: MaterialsData, c: &mut StageCounters| {
-                for (i, f) in data.frames.iter().enumerate() {
-                    if f.atoms.is_empty() {
-                        return Err(format!("frame {i}: no atoms"));
-                    }
-                    if f.energy().is_none() {
-                        return Err(format!("frame {i}: missing energy"));
-                    }
-                }
-                c.records = data.frames.len() as u64;
-                c.bytes = data
-                    .frames
-                    .iter()
-                    .map(|f| (f.atoms.len() * 48) as u64)
-                    .sum();
-                Ok(data)
-            },
-        )
-        .stage(
-            "normalize",
-            S::Transform,
-            move |mut data: MaterialsData, c| {
-                // Per-atom energy statistics (parallel Welford merge).
-                let w = data
-                    .frames
-                    .par_iter()
-                    .map(|f| {
-                        let mut w = Welford::new();
-                        w.push(f.energy().expect("validated") / f.atoms.len() as f64);
-                        w
-                    })
-                    .reduce(Welford::new, |a, b| a.merge(&b));
-                let std = if w.std() < f64::EPSILON { 1.0 } else { w.std() };
-                data.energy_stats = (w.mean(), std);
-                ledger_norm.record(
-                    "normalize",
-                    [
-                        ("target".to_string(), "energy_per_atom".to_string()),
-                        ("mean".to_string(), format!("{:.6}", w.mean())),
-                        ("std".to_string(), format!("{std:.6}")),
-                    ],
-                    vec![],
-                    vec![],
-                );
-                let _ = &cfg_norm;
-                c.records = data.frames.len() as u64;
-                Ok(data)
-            },
-        )
-        .stage("encode", S::Structure, move |mut data: MaterialsData, c| {
-            let species_index = |el: &str| SPECIES.iter().position(|(s, _)| *s == el);
-            let (e_mean, e_std) = data.energy_stats;
-            let graphs: Result<Vec<GraphSample>, String> = data
-                .frames
-                .par_iter()
-                .enumerate()
-                .map(|(si, frame)| {
-                    let n = frame.atoms.len();
-                    let positions: Vec<[f64; 3]> = frame.atoms.iter().map(|a| a.position).collect();
-                    let pairs = neighbor_pairs(&positions, cfg_encode.cutoff);
-                    // Node features: species one-hot.
-                    let mut nf = vec![0.0f32; n * SPECIES.len()];
-                    for (i, atom) in frame.atoms.iter().enumerate() {
-                        let k = species_index(&atom.element)
-                            .ok_or_else(|| format!("unknown species {}", atom.element))?;
-                        nf[i * SPECIES.len() + k] = 1.0;
-                    }
-                    // Bidirectional edges.
-                    let mut edges = Vec::with_capacity(pairs.len() * 4);
-                    let mut lens = Vec::with_capacity(pairs.len() * 2);
-                    for &(a, b, r) in &pairs {
-                        edges.push(a as i64);
-                        edges.push(b as i64);
-                        lens.push(r as f32);
-                        edges.push(b as i64);
-                        edges.push(a as i64);
-                        lens.push(r as f32);
-                    }
-                    let forces: Vec<f32> = frame
-                        .atoms
-                        .iter()
-                        .flat_map(|a| a.force.unwrap_or([0.0; 3]))
-                        .map(|x| x as f32)
-                        .collect();
-                    let nedges = lens.len();
-                    Ok(GraphSample {
-                        structure_id: si,
-                        node_features: Tensor::from_vec(nf, &[n, SPECIES.len()])
-                            .map_err(|e| format!("{e}"))?,
-                        edges: Tensor::from_vec(edges, &[nedges, 2]).map_err(|e| format!("{e}"))?,
-                        edge_lengths: Tensor::from_vec(lens, &[nedges])
-                            .map_err(|e| format!("{e}"))?,
-                        energy_per_atom: (frame.energy().expect("validated") / n as f64 - e_mean)
-                            / e_std,
-                        forces: Tensor::from_vec(forces, &[n, 3]).map_err(|e| format!("{e}"))?,
-                    })
-                })
-                .collect();
-            data.graphs = graphs?;
-            c.records = data.graphs.len() as u64;
-            c.bytes = data
-                .graphs
-                .iter()
-                .map(|g| {
-                    ((g.node_features.len() + g.edge_lengths.len() + g.forces.len()) * 4
-                        + g.edges.len() * 8) as u64
-                })
-                .sum();
-            Ok(data)
+        .stage("parse", S::Ingest, parse_stage)
+        .stage("normalize", S::Transform, move |data: MaterialsData, c| {
+            normalize_stage(&ledger_norm, data, c)
+        })
+        .stage("encode", S::Structure, move |data: MaterialsData, c| {
+            encode_stage(&cfg_encode, data, c)
         })
         .stage("shard", S::Shard, move |data: MaterialsData, c| {
-            // BP writer per split + a JSONL sidecar of sample metadata.
-            let mut writers = [BpWriter::new(), BpWriter::new(), BpWriter::new()];
-            let mut sidecars = [String::new(), String::new(), String::new()];
-            let mut counts = [0usize; 3];
-            for g in &data.graphs {
-                let split = assign(
-                    &format!("structure-{}", g.structure_id),
-                    cfg_shard.seed,
-                    cfg_shard.fractions,
-                )
-                .expect("validated fractions");
-                let idx = match split {
-                    Split::Train => 0,
-                    Split::Validation => 1,
-                    Split::Test => 2,
-                };
-                let mut energy = Tensor::<f64>::zeros(&[1]);
-                energy.set(&[0], g.energy_per_atom).expect("index 0");
-                writers[idx].append(&ProcessGroup {
-                    name: format!("structure-{}", g.structure_id),
-                    step: g.structure_id as u64,
-                    vars: vec![
-                        BpVar::from_tensor("node_features", &g.node_features),
-                        BpVar::from_tensor("edges", &g.edges),
-                        BpVar::from_tensor("edge_lengths", &g.edge_lengths),
-                        BpVar::from_tensor("energy_per_atom", &energy),
-                        BpVar::from_tensor("forces", &g.forces),
-                    ],
-                });
-                sidecars[idx].push_str(
-                    &Json::obj([
-                        ("structure", Json::from(g.structure_id)),
-                        ("atoms", Json::from(g.node_features.shape()[0])),
-                        ("edges", Json::from(g.edge_lengths.len())),
-                        ("energy_per_atom", Json::from(g.energy_per_atom)),
-                    ])
-                    .to_string_compact(),
-                );
-                sidecars[idx].push('\n');
-                counts[idx] += 1;
-            }
-            let mut total = 0u64;
-            for (idx, split) in [Split::Train, Split::Validation, Split::Test]
-                .iter()
-                .enumerate()
-            {
-                if counts[idx] == 0 {
-                    continue;
-                }
-                let writer = std::mem::take(&mut writers[idx]);
-                // take() leaves a default BpWriter (no magic); only the
-                // original, which has magic + groups, is finished here.
-                let bytes = writer.finish();
-                let name = format!("materials/{}.bp", split.name());
-                sink.write_file(&name, &bytes).map_err(|e| format!("{e}"))?;
-                sink.write_file(
-                    &format!("materials/{}.jsonl", split.name()),
-                    sidecars[idx].as_bytes(),
-                )
-                .map_err(|e| format!("{e}"))?;
-                total += bytes.len() as u64;
-                ledger_shard.record(
-                    "shard",
-                    [
-                        ("split".to_string(), split.name().to_string()),
-                        ("format".to_string(), "bp+jsonl".to_string()),
-                    ],
-                    vec![],
-                    vec![Artifact::new(&name, &bytes)],
-                );
-            }
-            c.records = data.graphs.len() as u64;
-            c.bytes = total;
-            Ok(data)
+            shard_stage(&cfg_shard, sink.as_ref(), &ledger_shard, data, c)
         })
         .build()
 }

@@ -141,9 +141,12 @@ pub fn fnv1a64(data: &[u8]) -> u64 {
     h
 }
 
-/// 128-bit content hash (two lanes of xorshift-multiply mixing over 8-byte
-/// words with distinct seeds). Non-cryptographic; used for artifact content
-/// addressing and duplicate detection in provenance records.
+/// 128-bit content hash: four independent multiply-rotate lanes absorb a
+/// 32-byte stride (so absorption pipelines across lanes instead of
+/// serializing on one mixing chain), then a splitmix64 finalizer cascade
+/// combines the lanes. Non-cryptographic; used for artifact content
+/// addressing, cache-entry digests and duplicate detection — paths that
+/// hash megabytes per pipeline run, hence the throughput-oriented shape.
 pub fn content_hash128(data: &[u8]) -> [u8; 16] {
     #[inline]
     fn mix(mut x: u64) -> u64 {
@@ -154,27 +157,42 @@ pub fn content_hash128(data: &[u8]) -> [u8; 16] {
         x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
         x ^ (x >> 31)
     }
-    let mut h1 = 0x9E37_79B9_7F4A_7C15_u64 ^ (data.len() as u64);
-    let mut h2 = 0xC2B2_AE3D_27D4_EB4F_u64 ^ (data.len() as u64).rotate_left(32);
-    let mut chunks = data.chunks_exact(8);
-    for chunk in &mut chunks {
-        let w = u64::from_le_bytes([
-            chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
-        ]);
-        h1 = mix(h1 ^ w);
-        h2 = mix(h2.rotate_left(17) ^ w.wrapping_mul(0x9DDF_EA08_EB38_2D69));
+    #[inline]
+    fn absorb(h: u64, w: u64) -> u64 {
+        (h ^ w).wrapping_mul(0x9DDF_EA08_EB38_2D69).rotate_left(23) ^ w
     }
-    let rem = chunks.remainder();
+    let len = data.len() as u64;
+    let mut h = [
+        0x9E37_79B9_7F4A_7C15_u64 ^ len,
+        0xC2B2_AE3D_27D4_EB4F_u64 ^ len.rotate_left(32),
+        0x1656_67B1_9E37_79F9_u64 ^ len.rotate_left(16),
+        0x94D0_49BB_1331_11EB_u64 ^ len.rotate_left(48),
+    ];
+    let mut wide = data.chunks_exact(32);
+    for chunk in &mut wide {
+        for (i, lane) in h.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&chunk[i * 8..i * 8 + 8]);
+            *lane = absorb(*lane, u64::from_le_bytes(b));
+        }
+    }
+    let mut lane = 0usize;
+    let mut tail = wide.remainder().chunks_exact(8);
+    for c in &mut tail {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(c);
+        h[lane] = mix(h[lane] ^ u64::from_le_bytes(b));
+        lane = (lane + 1) % 4;
+    }
+    let rem = tail.remainder();
     if !rem.is_empty() {
         let mut last = [0u8; 8];
         last[..rem.len()].copy_from_slice(rem);
-        let w = u64::from_le_bytes(last);
-        h1 = mix(h1 ^ w ^ 0xFF);
-        h2 = mix(h2 ^ w.rotate_left(7));
+        h[lane] = mix(h[lane] ^ u64::from_le_bytes(last) ^ 0xFF);
     }
-    // Final avalanche across lanes.
-    let a = mix(h1 ^ h2.rotate_left(29));
-    let b = mix(h2 ^ h1.rotate_left(13));
+    // Final avalanche: both output words depend on every lane.
+    let a = mix(mix(h[0] ^ h[1].rotate_left(29)) ^ h[2].rotate_left(13) ^ h[3].rotate_left(41));
+    let b = mix(mix(h[3] ^ h[2].rotate_left(17)) ^ h[1].rotate_left(7) ^ h[0].rotate_left(51));
     let mut out = [0u8; 16];
     out[..8].copy_from_slice(&a.to_le_bytes());
     out[8..].copy_from_slice(&b.to_le_bytes());

@@ -15,7 +15,7 @@
 //! | `unsafe-audit` | every `unsafe` token carries an adjacent `// SAFETY:` comment |
 //! | `shim-parity` | shim crates import only `std` (no cross-shim or workspace deps), keeping them deletable |
 //! | `error-context` | `IoError` construction in `drai-io` carries a path/shard/record context |
-//! | `no-wallclock` | `Instant::now`/`SystemTime::now` only in `drai-telemetry` and the retry clock (deterministic replay) |
+//! | `no-wallclock` | `Instant::now`/`SystemTime::now` only in `drai-telemetry` and the retry/cache clock seams (deterministic replay) |
 //!
 //! ## Suppressions
 //!

@@ -39,7 +39,8 @@
 //!
 //! Producers: `pipeline.*` comes from drai-core; `io.{prefetch,shard,
 //! codec,sink}.*` from drai-io; `io.{fault,retry}.*` from the fault/
-//! retry layer; `domain.*` from drai-domains; `bench.*` from the
+//! retry layer; `domain.*` from drai-domains; `cache.*` from the
+//! drai-cache stage-result cache; `bench.*` from the
 //! `drai-bench-report` binary; `*.ns` is the histogram every [`Span`]
 //! records on drop.
 //!
@@ -132,6 +133,13 @@ pub const METRIC_FAMILIES: &[&str] = &[
     "io.retry.attempts",
     "io.retry.backoff_ns",
     "io.retry.exhausted",
+    // drai-cache stage-result cache (counters + get/put spans)
+    "cache.hits",
+    "cache.misses",
+    "cache.evictions",
+    "cache.quarantined",
+    "cache.get",
+    "cache.put",
     // span tree: drai-core pipeline run/stage spans
     "pipeline.*.run",
     "pipeline.*.run_batch",

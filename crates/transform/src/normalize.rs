@@ -112,6 +112,18 @@ impl Normalizer {
         self.method
     }
 
+    /// Reconstruct from previously fitted statistics — the
+    /// deserialization path for caches and provenance replays that
+    /// persist `(method, offset, scale)` and must rebuild the exact
+    /// normalizer without refitting.
+    pub fn from_parts(method: Method, offset: f64, scale: f64) -> Normalizer {
+        Normalizer {
+            method,
+            offset,
+            scale,
+        }
+    }
+
     /// Apply to one value (NaN passes through for later imputation).
     #[inline]
     pub fn apply(&self, x: f64) -> f64 {
@@ -197,6 +209,15 @@ mod tests {
         (0..1000)
             .map(|i| (i as f64 * 0.37).sin() * 12.0 + 7.0)
             .collect()
+    }
+
+    #[test]
+    fn from_parts_round_trips_fitted_stats() {
+        let data = sample();
+        let fitted = Normalizer::fit(Method::ZScore, &data).unwrap();
+        let rebuilt = Normalizer::from_parts(fitted.method(), fitted.offset, fitted.scale);
+        assert_eq!(fitted, rebuilt);
+        assert_eq!(fitted.apply(3.25), rebuilt.apply(3.25));
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! container formats (`formats`), the parallel shard/I-O engine (`io`),
 //! preprocessing kernels (`transform`), provenance capture (`provenance`),
 //! the simulated parallel filesystem (`sim`), runtime metrics
-//! (`telemetry`), and the four domain archetypes (`domains`).
+//! (`telemetry`), the content-addressed stage-result cache (`cache`),
+//! and the four domain archetypes (`domains`).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and experiment index.
@@ -24,6 +25,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use drai_cache as cache;
 pub use drai_core as core;
 pub use drai_domains as domains;
 pub use drai_formats as formats;
