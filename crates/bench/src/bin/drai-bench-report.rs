@@ -31,8 +31,10 @@ use drai_bench::report::{
 };
 use drai_bench::{mask_bytes, records, science_f32, tabular, timestamps_u64};
 use drai_cache::StageCache;
+use drai_core::executor::{ExecutorConfig, StreamingBatchExt};
 use drai_core::pipeline::{Pipeline, StageCounters};
 use drai_core::ProcessingStage as S;
+use drai_domains::cached::Member;
 use drai_domains::climate::ClimateData;
 use drai_domains::{bio, cached, climate, fusion, materials};
 use drai_formats::netcdf::NcFile;
@@ -66,6 +68,7 @@ struct Sizes {
     structures: usize,
     shard_records: usize,
     codec_bytes: usize,
+    members: usize,
 }
 
 impl Sizes {
@@ -82,6 +85,7 @@ impl Sizes {
                 structures: 4,
                 shard_records: 64,
                 codec_bytes: 32 * 1024,
+                members: 2,
             }
         } else {
             Sizes {
@@ -95,6 +99,7 @@ impl Sizes {
                 structures: 16,
                 shard_records: 512,
                 codec_bytes: 256 * 1024,
+                members: 4,
             }
         }
     }
@@ -256,6 +261,81 @@ fn bench_cache_warm(st: &CacheBenchState) -> Result<(), String> {
         st.warm_cache.clone(),
     );
     p.run(st.input.clone()).map_err(|e| format!("{e}"))?;
+    Ok(())
+}
+
+/// Shared state for the `stream_climate_batch_{cold,warm,rayon}` trio.
+/// `cold` and `rayon` run the *same* uncached batch pipeline over the
+/// same member-tagged ensemble — streaming executor vs `run_batch`'s
+/// whole-batch rayon path, the parity comparison. `warm` runs the
+/// cached batch pipeline against a primed cache, so every stage
+/// short-circuits its channel hop (fast-path replay).
+struct StreamBenchState {
+    cfg: climate::ClimateConfig,
+    plain_items: Vec<(usize, ClimateData)>,
+    cached_items: Vec<Member<ClimateData>>,
+    exec: ExecutorConfig,
+    warm_cache: Arc<StageCache>,
+    warm_sink: Arc<dyn StorageSink>,
+}
+
+fn prepare_stream_bench(sz: &Sizes) -> Result<StreamBenchState, String> {
+    let cfg = climate_cache_cfg(sz);
+    let plain_items: Vec<(usize, ClimateData)> = (0..sz.members)
+        .map(|m| (m, climate::member_input(&cfg, m)))
+        .collect();
+    let cached_items: Vec<Member<ClimateData>> = plain_items
+        .iter()
+        .map(|(m, d)| Member(*m, d.clone()))
+        .collect();
+    let exec = ExecutorConfig::for_host();
+    let warm_cache = Arc::new(StageCache::new(Arc::new(MemSink::new()), 256 << 20));
+    let warm_sink: Arc<dyn StorageSink> = Arc::new(MemSink::new());
+    // Prime untimed: one cold streaming pass fills the cache and the
+    // output sink so the warm bench measures pure fast-path replay.
+    let p = cached::build_cached_climate_batch_pipeline(
+        &cfg,
+        warm_sink.clone(),
+        Arc::new(Ledger::new()),
+        warm_cache.clone(),
+    );
+    p.run_batch_streaming(cached_items.clone(), &exec)
+        .map_err(|e| format!("{e}"))?;
+    Ok(StreamBenchState {
+        cfg,
+        plain_items,
+        cached_items,
+        exec,
+        warm_cache,
+        warm_sink,
+    })
+}
+
+fn bench_stream_cold(st: &StreamBenchState) -> Result<(), String> {
+    let p =
+        climate::build_batch_pipeline(&st.cfg, Arc::new(MemSink::new()), Arc::new(Ledger::new()));
+    p.run_batch_streaming(st.plain_items.clone(), &st.exec)
+        .map_err(|e| format!("{e}"))?;
+    Ok(())
+}
+
+fn bench_stream_warm(st: &StreamBenchState) -> Result<(), String> {
+    let p = cached::build_cached_climate_batch_pipeline(
+        &st.cfg,
+        st.warm_sink.clone(),
+        Arc::new(Ledger::new()),
+        st.warm_cache.clone(),
+    );
+    p.run_batch_streaming(st.cached_items.clone(), &st.exec)
+        .map_err(|e| format!("{e}"))?;
+    Ok(())
+}
+
+fn bench_stream_rayon(st: &StreamBenchState) -> Result<(), String> {
+    let p =
+        climate::build_batch_pipeline(&st.cfg, Arc::new(MemSink::new()), Arc::new(Ledger::new()));
+    p.run_batch(st.plain_items.clone())
+        .map_err(|e| format!("{e}"))?;
     Ok(())
 }
 
@@ -464,7 +544,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         smoke: false,
         warn_only: false,
-        pr: 6,
+        pr: 7,
         out: PathBuf::from("target/bench-report"),
         threshold: DEFAULT_THRESHOLD,
         compare_only: None,
@@ -549,6 +629,10 @@ fn run() -> Result<ExitCode, String> {
     let cache_state = Arc::new(prepare_cache_bench(&sz)?);
     let cold_state = cache_state.clone();
     let warm_state = cache_state;
+    let stream_state = Arc::new(prepare_stream_bench(&sz)?);
+    let stream_cold = stream_state.clone();
+    let stream_warm = stream_state.clone();
+    let stream_rayon = stream_state;
 
     let benches: Vec<(&str, BenchFn)> = vec![
         ("fig1_pipeline", Box::new(bench_fig1)),
@@ -563,6 +647,18 @@ fn run() -> Result<ExitCode, String> {
         (
             "cache_climate_warm",
             Box::new(move |_: &Registry, _: &Sizes| bench_cache_warm(&warm_state)),
+        ),
+        (
+            "stream_climate_batch_cold",
+            Box::new(move |_: &Registry, _: &Sizes| bench_stream_cold(&stream_cold)),
+        ),
+        (
+            "stream_climate_batch_warm",
+            Box::new(move |_: &Registry, _: &Sizes| bench_stream_warm(&stream_warm)),
+        ),
+        (
+            "stream_climate_batch_rayon",
+            Box::new(move |_: &Registry, _: &Sizes| bench_stream_rayon(&stream_rayon)),
         ),
         (
             "table1_fusion",

@@ -143,9 +143,9 @@ fn smoke_run_produces_report_and_trace_artifacts() {
     let (code, text) = gate(&["--smoke", "--warn-only", "--out", dir.to_str().unwrap()]);
     assert_eq!(code, 0, "{text}");
     let report =
-        Report::parse(&std::fs::read_to_string(dir.join("BENCH_6.json")).unwrap()).unwrap();
+        Report::parse(&std::fs::read_to_string(dir.join("BENCH_7.json")).unwrap()).unwrap();
     assert_eq!(report.mode, "smoke");
-    assert_eq!(report.benches.len(), 10);
+    assert_eq!(report.benches.len(), 13);
     for b in &report.benches {
         assert!(b.wall_ns > 0, "{} has zero wall time", b.name);
         assert!(!b.stages.is_empty(), "{} has no stages", b.name);

@@ -42,7 +42,7 @@ pub mod bytes;
 pub mod clock;
 
 use clock::{CacheClock, WallClock};
-use drai_core::pipeline::{PipelineBuilder, StageCounters};
+use drai_core::pipeline::{FastPath, PipelineBuilder, StageCounters};
 use drai_core::readiness::ProcessingStage;
 use drai_io::checksum::{content_hash128, hash_hex};
 use drai_io::codec::{codec_for, CodecId};
@@ -523,11 +523,19 @@ impl<T: CacheBytes + Send + Sync + 'static> CachedPipelineExt<T> for PipelineBui
         check: impl Fn(&T) -> bool + Send + Sync + 'static,
         func: impl Fn(T, &mut StageCounters) -> Result<T, String> + Send + Sync + 'static,
     ) -> Self {
-        let stage_name = name.to_string();
-        let wrapped = move |input: T, counters: &mut StageCounters| {
+        // The probe is the stage's *fast path*: sequential runs try it
+        // immediately before the function, and the streaming executor
+        // probes it on the sending side of a channel so a hit skips the
+        // stage's channel hop entirely. Exactly one probe happens per
+        // stage execution either way, so hit/miss counters are
+        // identical across `run`, `run_batch` and streaming.
+        let probe_name = name.to_string();
+        let probe_cache = cache.clone();
+        let probe_fp = config_fp.clone();
+        let probe = move |input: T, counters: &mut StageCounters| {
             let input_bytes = input.to_cache_bytes();
-            let key = CacheKey::compute(&stage_name, &input_bytes, &config_fp);
-            if let Some(hit) = cache.get(&key) {
+            let key = CacheKey::compute(&probe_name, &input_bytes, &probe_fp);
+            if let Some(hit) = probe_cache.get(&key) {
                 // The digest already verified; a decode failure here
                 // means the payload schema drifted without a format
                 // version bump — recompute and overwrite.
@@ -535,10 +543,19 @@ impl<T: CacheBytes + Send + Sync + 'static> CachedPipelineExt<T> for PipelineBui
                     if check(&output) {
                         counters.records = hit.records;
                         counters.bytes = hit.bytes;
-                        return Ok(output);
+                        return FastPath::Hit(output);
                     }
                 }
             }
+            FastPath::Miss(input)
+        };
+        let stage_name = name.to_string();
+        let compute = move |input: T, counters: &mut StageCounters| {
+            // Recompute the key (the probe consumed its copy of the
+            // input bytes): the put must be keyed by the *input*, which
+            // `func` consumes.
+            let input_bytes = input.to_cache_bytes();
+            let key = CacheKey::compute(&stage_name, &input_bytes, &config_fp);
             let output = func(input, counters)?;
             let _ = cache.put(
                 &key,
@@ -548,7 +565,7 @@ impl<T: CacheBytes + Send + Sync + 'static> CachedPipelineExt<T> for PipelineBui
             );
             Ok(output)
         };
-        self.stage(name, kind, wrapped)
+        self.stage_with_fast_path(name, kind, probe, compute)
     }
 }
 

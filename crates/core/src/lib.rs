@@ -27,6 +27,7 @@
 pub mod assess;
 pub mod card;
 pub mod dataset;
+pub mod executor;
 pub mod metrics;
 pub mod pipeline;
 pub mod quality;
@@ -35,7 +36,8 @@ pub mod templates;
 
 pub use assess::{Assessment, ReadinessAssessor};
 pub use dataset::{DatasetManifest, Modality, VariableSpec};
-pub use pipeline::{Pipeline, PipelineBuilder, PipelineRun, StageMetrics};
+pub use executor::{ExecutorConfig, StreamingBatchExt};
+pub use pipeline::{FastPath, Pipeline, PipelineBuilder, PipelineRun, StageMetrics};
 pub use readiness::{MaturityMatrix, ProcessingStage, ReadinessLevel};
 pub use templates::DomainTemplate;
 

@@ -32,13 +32,28 @@ pub struct StageCounters {
 }
 
 type StageFn<T> = dyn Fn(T, &mut StageCounters) -> Result<T, String> + Send + Sync;
+type FastFn<T> = dyn Fn(T, &mut StageCounters) -> FastPath<T> + Send + Sync;
 
-/// One pipeline stage: a name, its processing-stage classification, and
-/// the transformation function.
+/// Outcome of a stage's optional *fast path* — a cheap pre-check that
+/// can produce the stage's output without running the full stage
+/// function (e.g. a cache probe). A fast path is infallible by
+/// construction: anything that goes wrong degrades to [`FastPath::Miss`]
+/// and the full function runs.
+pub enum FastPath<T> {
+    /// The fast path produced the stage output; the stage function is
+    /// skipped. Counters set by the fast path are kept.
+    Hit(T),
+    /// No shortcut; the input is handed back for the full function.
+    Miss(T),
+}
+
+/// One pipeline stage: a name, its processing-stage classification, the
+/// transformation function, and an optional fast path tried first.
 pub struct StageDef<T> {
-    name: String,
-    kind: ProcessingStage,
-    func: Arc<StageFn<T>>,
+    pub(crate) name: String,
+    pub(crate) kind: ProcessingStage,
+    pub(crate) func: Arc<StageFn<T>>,
+    pub(crate) fast: Option<Arc<FastFn<T>>>,
 }
 
 impl<T> Clone for StageDef<T> {
@@ -47,6 +62,7 @@ impl<T> Clone for StageDef<T> {
             name: self.name.clone(),
             kind: self.kind,
             func: self.func.clone(),
+            fast: self.fast.clone(),
         }
     }
 }
@@ -61,6 +77,11 @@ pub struct StageMetrics {
     /// Work done.
     pub throughput: Throughput,
 }
+
+/// A finished per-item run plus each stage's `(start, end)` window in
+/// nanoseconds relative to the batch epoch — what `run_windowed` hands
+/// back to the batch mergers.
+type WindowedRun<T> = (PipelineRun<T>, Vec<(u64, u64)>);
 
 /// Result of a pipeline run: the final artifact plus per-stage metrics.
 #[derive(Debug)]
@@ -101,6 +122,28 @@ impl<T> PipelineBuilder<T> {
             name: name.to_string(),
             kind,
             func: Arc::new(func),
+            fast: None,
+        });
+        self
+    }
+
+    /// Add a stage with a *fast path*: `fast` is tried first and may
+    /// produce the stage output outright ([`FastPath::Hit`]), in which
+    /// case `func` never runs. Used by the cache layer to probe for a
+    /// memoized result, and by the streaming executor to short-circuit
+    /// a stage's channel hop entirely on a hit.
+    pub fn stage_with_fast_path(
+        mut self,
+        name: &str,
+        kind: ProcessingStage,
+        fast: impl Fn(T, &mut StageCounters) -> FastPath<T> + Send + Sync + 'static,
+        func: impl Fn(T, &mut StageCounters) -> Result<T, String> + Send + Sync + 'static,
+    ) -> Self {
+        self.stages.push(StageDef {
+            name: name.to_string(),
+            kind,
+            func: Arc::new(func),
+            fast: Some(Arc::new(fast)),
         });
         self
     }
@@ -161,6 +204,7 @@ impl<T: Clone + 'static> PipelineBuilder<T> {
             name: name.to_string(),
             kind,
             func: Arc::new(wrapped),
+            fast: None,
         });
         self
     }
@@ -172,8 +216,8 @@ impl<T: Clone + 'static> PipelineBuilder<T> {
 /// set of shot records, file paths. Stages run in order; each failure
 /// aborts the run with the failing stage named.
 pub struct Pipeline<T> {
-    name: String,
-    stages: Vec<StageDef<T>>,
+    pub(crate) name: String,
+    pub(crate) stages: Vec<StageDef<T>>,
 }
 
 impl<T> Clone for Pipeline<T> {
@@ -222,6 +266,38 @@ impl<T> Pipeline<T> {
     }
 
     fn run_inner(&self, input: T, telemetry: bool) -> Result<PipelineRun<T>, CoreError> {
+        let epoch = Stopwatch::start();
+        self.run_windowed(input, telemetry, epoch)
+            .map(|(run, _)| run)
+    }
+
+    /// Execute one stage on one artifact: try the fast path first, then
+    /// the full function. Shared by the sequential runner and the
+    /// streaming executor so both observe identical stage semantics.
+    pub(crate) fn execute_stage(
+        stage: &StageDef<T>,
+        input: T,
+        counters: &mut StageCounters,
+    ) -> Result<T, String> {
+        let current = match &stage.fast {
+            Some(fast) => match fast(input, counters) {
+                FastPath::Hit(output) => return Ok(output),
+                FastPath::Miss(input) => input,
+            },
+            None => input,
+        };
+        (stage.func)(current, counters)
+    }
+
+    /// Sequential run that additionally reports each stage's
+    /// `(start, end)` window in nanoseconds relative to `epoch`, so
+    /// batch callers can compute per-stage wall-clock across items.
+    fn run_windowed(
+        &self,
+        input: T,
+        telemetry: bool,
+        epoch: Stopwatch,
+    ) -> Result<WindowedRun<T>, CoreError> {
         let registry = Registry::current();
         // Root span for the whole run; stage spans nest under it, and
         // it in turn nests under whatever context the caller entered
@@ -230,14 +306,16 @@ impl<T> Pipeline<T> {
         let _in_run = run_span.as_ref().map(Span::enter);
         let mut current = input;
         let mut metrics = Vec::with_capacity(self.stages.len());
+        let mut windows = Vec::with_capacity(self.stages.len());
         for stage in &self.stages {
             let span = telemetry.then(|| registry.span(self.stage_metric(&stage.name)));
+            let start_ns = epoch.elapsed_ns();
             let start = Stopwatch::start();
             let mut counters = StageCounters::default();
             // Entered while the stage function runs so I/O-layer spans
             // opened inside it parent under this stage.
             let in_stage = span.as_ref().map(Span::enter);
-            let result = (stage.func)(current, &mut counters);
+            let result = Self::execute_stage(stage, current, &mut counters);
             drop(in_stage);
             current = result.map_err(|message| CoreError::Stage {
                 stage: stage.name.clone(),
@@ -254,6 +332,7 @@ impl<T> Pipeline<T> {
                     .counter(&format!("{base}.bytes"))
                     .add(counters.bytes);
             }
+            windows.push((start_ns, epoch.elapsed_ns()));
             metrics.push(StageMetrics {
                 name: stage.name.clone(),
                 kind: stage.kind,
@@ -264,46 +343,89 @@ impl<T> Pipeline<T> {
                 },
             });
         }
-        Ok(PipelineRun {
-            output: current,
-            stages: metrics,
-        })
+        Ok((
+            PipelineRun {
+                output: current,
+                stages: metrics,
+            },
+            windows,
+        ))
+    }
+
+    /// One zeroed [`StageMetrics`] per stage — what an empty batch
+    /// merges to, so downstream zips over stage lists never see
+    /// mismatched lengths.
+    pub(crate) fn zeroed_metrics(&self) -> Vec<StageMetrics> {
+        self.stages
+            .iter()
+            .map(|stage| StageMetrics {
+                name: stage.name.clone(),
+                kind: stage.kind,
+                throughput: Throughput::default(),
+            })
+            .collect()
     }
 }
 
 impl<T: Send> Pipeline<T> {
     /// Run the whole pipeline independently on many artifacts in
-    /// parallel (rayon). Failures abort with the first error; outputs
-    /// preserve input order. Per-item metrics are merged per stage.
+    /// parallel (rayon). Failures abort with the error of the *lowest
+    /// input index* that failed — deterministic regardless of worker
+    /// scheduling. Outputs preserve input order. Per-item metrics are
+    /// merged per stage; an empty batch merges to one zeroed
+    /// [`StageMetrics`] per stage.
     ///
     /// Telemetry: one `pipeline.<name>.run_batch` span for the batch
-    /// (items = batch size) plus merged per-stage counters and one
-    /// `pipeline.<name>.<stage>.ns` histogram observation per stage —
-    /// per-item spans are suppressed so large batches don't flood the
-    /// span log.
+    /// (items = batch size) plus merged per-stage counters and two
+    /// histograms per stage — `pipeline.<name>.<stage>.ns` records the
+    /// stage's batch *wall-clock* (last item out minus first item in,
+    /// so it never exceeds the batch wall time regardless of
+    /// parallelism), and `.item_ns` records each item's own latency
+    /// through the stage. Per-item spans are suppressed so large
+    /// batches don't flood the span log.
     pub fn run_batch(&self, items: Vec<T>) -> Result<(Vec<T>, Vec<StageMetrics>), CoreError> {
         let registry = Registry::current();
         let batch_span = registry.span(format!("pipeline.{}.run_batch", self.name));
         batch_span.add_items(items.len() as u64);
         let _in_batch = batch_span.enter();
-        let results: Result<Vec<PipelineRun<T>>, CoreError> = items
+        if items.is_empty() {
+            return Ok((Vec::new(), self.zeroed_metrics()));
+        }
+        let epoch = Stopwatch::start();
+        // Collect every item's result (no short-circuit), then scan in
+        // input order: the first failure by input index wins, so the
+        // reported error doesn't depend on which rayon worker lost the
+        // race.
+        let results: Vec<Result<WindowedRun<T>, CoreError>> = items
             .into_par_iter()
-            .map(|item| self.run_inner(item, false))
+            .map(|item| self.run_windowed(item, false, epoch))
             .collect();
-        let runs = results?;
-        let mut merged: Vec<StageMetrics> = Vec::new();
+        let mut runs = Vec::with_capacity(results.len());
+        for result in results {
+            runs.push(result?);
+        }
+        let mut merged: Vec<StageMetrics> = self.zeroed_metrics();
+        // Per-stage wall-clock window across the batch: earliest start
+        // to latest end among all items.
+        let mut walls: Vec<(u64, u64)> = vec![(u64::MAX, 0); self.stages.len()];
+        let mut item_ns: Vec<Vec<u64>> = vec![Vec::with_capacity(runs.len()); self.stages.len()];
         let mut outputs = Vec::with_capacity(runs.len());
-        for run in runs {
-            if merged.is_empty() {
-                merged = run.stages.clone();
-            } else {
-                for (m, s) in merged.iter_mut().zip(&run.stages) {
-                    m.throughput = m.throughput.merge(&s.throughput);
-                }
+        for (run, windows) in runs {
+            for (si, s) in run.stages.iter().enumerate() {
+                merged[si].throughput.records += s.throughput.records;
+                merged[si].throughput.bytes += s.throughput.bytes;
+                item_ns[si].push(s.throughput.elapsed.as_nanos() as u64);
+            }
+            for (si, &(start, end)) in windows.iter().enumerate() {
+                walls[si].0 = walls[si].0.min(start);
+                walls[si].1 = walls[si].1.max(end);
             }
             outputs.push(run.output);
         }
-        for m in &merged {
+        for (si, m) in merged.iter_mut().enumerate() {
+            let (start, end) = walls[si];
+            let wall_ns = end.saturating_sub(start);
+            m.throughput.elapsed = std::time::Duration::from_nanos(wall_ns);
             let base = self.stage_metric(&m.name);
             registry
                 .counter(&format!("{base}.records"))
@@ -311,9 +433,11 @@ impl<T: Send> Pipeline<T> {
             registry
                 .counter(&format!("{base}.bytes"))
                 .add(m.throughput.bytes);
-            registry
-                .histogram(&format!("{base}.ns"))
-                .record(m.throughput.elapsed.as_nanos() as u64);
+            registry.histogram(&format!("{base}.ns")).record(wall_ns);
+            let per_item = registry.histogram(&format!("{base}.item_ns"));
+            for &ns in &item_ns[si] {
+                per_item.record(ns);
+            }
             batch_span.add_bytes(m.throughput.bytes);
         }
         Ok((outputs, merged))
@@ -458,19 +582,115 @@ mod tests {
     }
 
     #[test]
-    fn batch_of_empty_input_yields_no_outputs_or_metrics() {
+    fn batch_of_empty_input_yields_zeroed_per_stage_metrics() {
         let p = doubling_pipeline();
         let (outputs, metrics) = p.run_batch(Vec::new()).unwrap();
         assert!(outputs.is_empty());
-        assert!(
-            metrics.is_empty(),
-            "no per-item runs to merge, so no merged stage metrics"
-        );
+        // One zeroed entry per stage, so downstream code zipping merged
+        // metrics against stage lists never sees unequal lengths.
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics[0].name, "ingest");
+        assert_eq!(metrics[1].name, "double");
+        for m in &metrics {
+            assert_eq!(m.throughput.records, 0);
+            assert_eq!(m.throughput.bytes, 0);
+            assert_eq!(m.throughput.elapsed, std::time::Duration::ZERO);
+        }
         // The batch span is still emitted (zero items) and no per-stage
         // counters move.
         let snap = drai_telemetry::Registry::global().snapshot();
         let batch = snap.spans_named("pipeline.test.run_batch");
         assert!(batch.iter().any(|s| s.items == 0));
+    }
+
+    #[test]
+    fn batch_stage_latency_never_exceeds_batch_wall_clock() {
+        use drai_telemetry::{Registry, TraceContext};
+        let reg = Registry::new();
+        let p: Pipeline<u64> = Pipeline::builder("batch-wall")
+            .stage("spin", S::Transform, |x: u64, c| {
+                // Busy work so per-item elapsed is measurable: summed
+                // across parallel items it would exceed the batch wall.
+                let mut acc = x;
+                for i in 0..200_000u64 {
+                    acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+                }
+                c.records = 1;
+                Ok(acc)
+            })
+            .build();
+        let wall = Stopwatch::start();
+        TraceContext::root(&reg)
+            .scope(|| p.run_batch((0..32).collect()))
+            .unwrap();
+        let wall_ns = wall.elapsed_ns();
+        let snap = reg.snapshot();
+        let ns = &snap.histograms["pipeline.batch-wall.spin.ns"];
+        assert_eq!(ns.count, 1);
+        // The fixed `.ns` records the stage's batch wall-clock, which
+        // can never exceed the wall time of the whole run_batch call.
+        assert!(
+            ns.max <= wall_ns,
+            "stage wall {} > batch wall {wall_ns}",
+            ns.max
+        );
+        // Per-item latency lands in `.item_ns`: one observation per item.
+        let item = &snap.histograms["pipeline.batch-wall.spin.item_ns"];
+        assert_eq!(item.count, 32);
+    }
+
+    #[test]
+    fn batch_multi_failure_error_is_lowest_input_index() {
+        // Items 5, 9 and 13 all fail; regardless of which rayon worker
+        // finishes first, the reported error must be item 5's.
+        let p: Pipeline<i32> = Pipeline::builder("batch-det")
+            .stage("maybe", S::Transform, |x, _| {
+                if x % 4 == 1 && x > 1 {
+                    Err(format!("item {x} failed"))
+                } else {
+                    Ok(x)
+                }
+            })
+            .build();
+        for _ in 0..8 {
+            match p.run_batch((0..16).collect()) {
+                Err(CoreError::Stage { stage, message }) => {
+                    assert_eq!(stage, "maybe");
+                    assert_eq!(message, "item 5 failed");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_hit_skips_stage_function() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let func_calls = Arc::new(AtomicU32::new(0));
+        let calls = func_calls.clone();
+        let p: Pipeline<i32> = Pipeline::builder("fastpath")
+            .stage_with_fast_path(
+                "memo",
+                S::Transform,
+                |x, c| {
+                    if x % 2 == 0 {
+                        c.records = 1;
+                        FastPath::Hit(x * 10)
+                    } else {
+                        FastPath::Miss(x)
+                    }
+                },
+                move |x, c| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    c.records = 1;
+                    Ok(x * 10)
+                },
+            )
+            .build();
+        assert_eq!(p.run(4).unwrap().output, 40);
+        assert_eq!(func_calls.load(Ordering::SeqCst), 0, "hit skips func");
+        assert_eq!(p.run(3).unwrap().output, 30);
+        assert_eq!(func_calls.load(Ordering::SeqCst), 1, "miss runs func");
     }
 
     #[test]

@@ -326,7 +326,119 @@ pub fn build_cached_climate_pipeline(
                     .unwrap_or(false)
             },
             move |data: ClimateData, c| {
-                climate::shard_stage(&cfg_shard, sink_shard.as_ref(), &ledger_shard, data, c)
+                climate::shard_stage(
+                    &cfg_shard,
+                    sink_shard.as_ref(),
+                    &ledger_shard,
+                    "climate",
+                    data,
+                    c,
+                )
+            },
+        )
+        .build()
+}
+
+/// A batch member flowing through a cached batch pipeline: the member
+/// id plus the inter-stage artifact. (A newtype rather than a tuple —
+/// tuples are foreign types, so `CacheBytes` cannot be implemented for
+/// them here.)
+#[derive(Clone)]
+pub struct Member<T>(pub usize, pub T);
+
+/// A batch member is cached as its member id followed by the inner
+/// artifact's canonical bytes, so each member keys its own cache
+/// entries (identical fields under different member ids never collide).
+impl<T: CacheBytes> CacheBytes for Member<T> {
+    fn to_cache_bytes(&self) -> Vec<u8> {
+        let inner = self.1.to_cache_bytes();
+        let mut w = ByteWriter::with_capacity(inner.len() + 16);
+        w.put_u64(self.0 as u64);
+        w.put_bytes(&inner);
+        w.finish()
+    }
+
+    fn from_cache_bytes(data: &[u8]) -> Result<Member<T>, String> {
+        let mut r = ByteReader::new(data);
+        let member = r.u64()? as usize;
+        let inner = r.bytes()?.to_vec();
+        r.expect_end()?;
+        Ok(Member(member, T::from_cache_bytes(&inner)?))
+    }
+}
+
+/// Build the climate batch pipeline (`(member, data)` items, per-member
+/// shard prefixes) with the regrid, normalize and shard stages running
+/// through `cache`. Under the streaming executor a warm cache turns
+/// each cached stage's probe into a fast-path hit that skips the
+/// stage's channel hop entirely.
+pub fn build_cached_climate_batch_pipeline(
+    cfg: &ClimateConfig,
+    sink: Arc<dyn StorageSink>,
+    ledger: Arc<Ledger>,
+    cache: Arc<StageCache>,
+) -> Pipeline<Member<ClimateData>> {
+    let cfg_regrid = cfg.clone();
+    let cfg_shard = cfg.clone();
+    let ledger_regrid = ledger.clone();
+    let ledger_norm = ledger.clone();
+    let ledger_shard = ledger;
+    let sink_check = sink.clone();
+    let sink_shard = sink;
+
+    Pipeline::builder("climate-batch")
+        .stage(
+            "validate",
+            S::Ingest,
+            |Member(m, data): Member<ClimateData>, c| {
+                climate::validate_stage(data, c).map(|data| Member(m, data))
+            },
+        )
+        .cached_stage(
+            "regrid",
+            S::Preprocess,
+            cache.clone(),
+            climate_regrid_fingerprint(cfg),
+            move |Member(m, data), c| {
+                climate::regrid_stage(&cfg_regrid, &ledger_regrid, data, c)
+                    .map(|data| Member(m, data))
+            },
+        )
+        .cached_stage(
+            "normalize",
+            S::Transform,
+            cache.clone(),
+            climate_normalize_fingerprint(cfg),
+            move |Member(m, data), c| {
+                climate::normalize_stage(&ledger_norm, data, c).map(|data| Member(m, data))
+            },
+        )
+        .cached_stage_with_check(
+            "shard",
+            S::Shard,
+            cache,
+            climate_shard_fingerprint(cfg),
+            move |Member(m, _data): &Member<ClimateData>| {
+                let prefix = format!("climate/m{m}/");
+                sink_check
+                    .list()
+                    .map(|names| {
+                        names
+                            .iter()
+                            .any(|n| n.starts_with(&prefix) && n.ends_with(".shard"))
+                    })
+                    .unwrap_or(false)
+            },
+            move |Member(m, data), c| {
+                climate::shard_stage(
+                    &cfg_shard,
+                    sink_shard.as_ref(),
+                    &ledger_shard,
+                    &format!("climate/m{m}"),
+                    data,
+                    c,
+                )
+                .map(|data| Member(m, data))
             },
         )
         .build()
@@ -373,7 +485,14 @@ pub fn build_cached_materials_pipeline(
             move |data: MaterialsData, c| materials::encode_stage(&cfg_encode, data, c),
         )
         .stage("shard", S::Shard, move |data: MaterialsData, c| {
-            materials::shard_stage(&cfg_shard, sink.as_ref(), &ledger_shard, data, c)
+            materials::shard_stage(
+                &cfg_shard,
+                sink.as_ref(),
+                &ledger_shard,
+                "materials",
+                data,
+                c,
+            )
         })
         .build()
 }
@@ -621,5 +740,83 @@ mod tests {
         let ctx = TraceContext::root(reg);
         let r = ctx.scope(f);
         (r, reg.snapshot())
+    }
+
+    #[test]
+    fn member_tagged_climate_data_round_trips_exactly() {
+        let cfg = climate_cfg();
+        let data = Member(7, climate_input(&cfg));
+        let bytes = data.to_cache_bytes();
+        let back = Member::<ClimateData>::from_cache_bytes(&bytes).expect("decode");
+        assert_eq!(back.0, 7);
+        assert_eq!(back.to_cache_bytes(), bytes);
+        assert_eq!(back.1.fields, data.1.fields);
+        // Tagging changes the encoding, so identical fields under a
+        // different member id key different cache entries.
+        assert_ne!(Member(8, climate_input(&cfg)).to_cache_bytes(), bytes);
+    }
+
+    #[test]
+    fn cached_batch_pipeline_warm_streaming_short_circuits_channel_hops() {
+        use drai_core::executor::{ExecutorConfig, StreamingBatchExt};
+
+        let cfg = climate_cfg();
+        let members = 3usize;
+        let items = |n: usize| -> Vec<Member<ClimateData>> {
+            (0..n)
+                .map(|m| Member(m, climate::member_input(&cfg, m)))
+                .collect()
+        };
+        let cache_sink = Arc::new(MemSink::new());
+        let cache = test_cache(&cache_sink);
+        // One shared output sink so the warm pass's shard hits pass the
+        // external blob check.
+        let sink: Arc<dyn StorageSink> = Arc::new(MemSink::new());
+        let exec = ExecutorConfig::default();
+
+        let cold_reg = Registry::new();
+        let ((), cold) = run_in_registry(&cold_reg, || {
+            let p = build_cached_climate_batch_pipeline(
+                &cfg,
+                sink.clone(),
+                Arc::new(Ledger::new()),
+                cache.clone(),
+            );
+            p.run_batch_streaming(items(members), &exec).expect("cold");
+        });
+        assert_eq!(
+            cold.counters.get("cache.misses").copied().unwrap_or(0),
+            3 * members as u64,
+            "cold pass misses all three cached stages per member: {:?}",
+            cold.counters
+        );
+
+        let warm_reg = Registry::new();
+        let ((), warm) = run_in_registry(&warm_reg, || {
+            let p = build_cached_climate_batch_pipeline(
+                &cfg,
+                sink.clone(),
+                Arc::new(Ledger::new()),
+                cache.clone(),
+            );
+            p.run_batch_streaming(items(members), &exec).expect("warm");
+        });
+        assert_eq!(
+            warm.counters.get("cache.hits").copied().unwrap_or(0),
+            3 * members as u64,
+            "warm pass hits all three cached stages per member: {:?}",
+            warm.counters
+        );
+        // Every warm hit fires on the sending side of a channel, so the
+        // executor skips that stage's channel hop entirely.
+        assert_eq!(
+            warm.counters
+                .get("executor.shortcircuits")
+                .copied()
+                .unwrap_or(0),
+            3 * members as u64,
+            "each warm hit skips its channel hop: {:?}",
+            warm.counters
+        );
     }
 }

@@ -14,8 +14,9 @@
 //! 4. **shard** — split by timestep key, pack `[vars, lat, lon]` f32
 //!    tensors into NPY members of NPZ (STORE ZIP) shards.
 
-use crate::{DomainError, DomainRun};
+use crate::{DomainBatchRun, DomainError, DomainRun};
 use drai_core::dataset::{DatasetManifest, Modality, VariableSpec};
+use drai_core::executor::{ExecutorConfig, StreamingBatchExt};
 use drai_core::pipeline::{Pipeline, StageCounters};
 use drai_core::readiness::ProcessingStage as S;
 use drai_formats::netcdf::{NcAttr, NcDim, NcFile, NcValues, NcVar};
@@ -384,6 +385,7 @@ pub(crate) fn shard_stage(
     cfg: &ClimateConfig,
     sink: &dyn StorageSink,
     ledger: &Ledger,
+    prefix: &str,
     data: ClimateData,
     c: &mut StageCounters,
 ) -> Result<ClimateData, String> {
@@ -434,7 +436,7 @@ pub(crate) fn shard_stage(
         if split_records[idx].is_empty() {
             continue;
         }
-        let spec = ShardSpec::new(format!("climate/{}", split.name()), cfg.shard_bytes);
+        let spec = ShardSpec::new(format!("{prefix}/{}", split.name()), cfg.shard_bytes);
         let manifest = ShardWriter::new(spec, sink)
             .write_all(&split_records[idx])
             .map_err(|e| format!("{e}"))?;
@@ -480,9 +482,110 @@ pub fn build_pipeline(
             normalize_stage(&ledger_norm, data, c)
         })
         .stage("shard", S::Shard, move |data: ClimateData, c| {
-            shard_stage(&cfg_shard, sink_shard.as_ref(), &ledger_shard, data, c)
+            shard_stage(
+                &cfg_shard,
+                sink_shard.as_ref(),
+                &ledger_shard,
+                "climate",
+                data,
+                c,
+            )
         })
         .build()
+}
+
+/// One ensemble member's input fields, synthesized directly (no NetCDF
+/// round trip) with the member index folded into the seed — the raw
+/// material for [`run_streaming_batch`] and the streaming benches.
+pub fn member_input(cfg: &ClimateConfig, member: usize) -> ClimateData {
+    let member_cfg = ClimateConfig {
+        seed: cfg.seed.wrapping_add(member as u64),
+        ..cfg.clone()
+    };
+    let mut rng = SmallRng::seed_from_u64(member_cfg.seed);
+    let fields = (0..VARIABLES.len())
+        .map(|vi| synth_variable(&member_cfg, vi, &mut rng))
+        .collect();
+    ClimateData {
+        fields,
+        grid: cfg.src_grid.clone(),
+        timesteps: cfg.timesteps,
+        normalizers: vec![],
+    }
+}
+
+/// Build the climate pipeline over `(member, data)` items, for batch
+/// execution of a whole ensemble: the same stage bodies as
+/// [`build_pipeline`], with each member's shards written under
+/// `climate/m<member>/` so members never collide.
+pub fn build_batch_pipeline(
+    cfg: &ClimateConfig,
+    sink: Arc<dyn StorageSink>,
+    ledger: Arc<Ledger>,
+) -> Pipeline<(usize, ClimateData)> {
+    let cfg_regrid = cfg.clone();
+    let cfg_shard = cfg.clone();
+    let ledger_regrid = ledger.clone();
+    let ledger_norm = ledger.clone();
+    let ledger_shard = ledger;
+    let sink_shard = sink;
+
+    Pipeline::builder("climate-batch")
+        .stage(
+            "validate",
+            S::Ingest,
+            |(m, data): (usize, ClimateData), c| validate_stage(data, c).map(|data| (m, data)),
+        )
+        .stage("regrid", S::Preprocess, move |(m, data), c| {
+            regrid_stage(&cfg_regrid, &ledger_regrid, data, c).map(|data| (m, data))
+        })
+        .stage("normalize", S::Transform, move |(m, data), c| {
+            normalize_stage(&ledger_norm, data, c).map(|data| (m, data))
+        })
+        .stage("shard", S::Shard, move |(m, data), c| {
+            shard_stage(
+                &cfg_shard,
+                sink_shard.as_ref(),
+                &ledger_shard,
+                &format!("climate/m{m}"),
+                data,
+                c,
+            )
+            .map(|data| (m, data))
+        })
+        .build()
+}
+
+/// Run a whole climate ensemble through the streaming bounded-memory
+/// executor: `members` synthetic members (seeds `seed..seed+members`)
+/// flow through the pipelined stage chain concurrently, each sharding
+/// under its own `climate/m<member>/` prefix.
+pub fn run_streaming_batch(
+    cfg: &ClimateConfig,
+    sink: Arc<dyn StorageSink>,
+    members: usize,
+    exec: &ExecutorConfig,
+) -> Result<DomainBatchRun, DomainError> {
+    let registry = drai_telemetry::Registry::current();
+    let run_span = registry.span("domain.climate.run_batch");
+    let _in_run = run_span.enter();
+    let ledger = Arc::new(Ledger::new());
+    let pipeline = build_batch_pipeline(cfg, sink.clone(), ledger.clone());
+    let items: Vec<(usize, ClimateData)> =
+        (0..members).map(|m| (m, member_input(cfg, m))).collect();
+    let (_outputs, stages) = pipeline.run_batch_streaming(items, exec)?;
+    let shard_files = sink
+        .list()?
+        .into_iter()
+        .filter(|n| n.starts_with("climate/") && n.ends_with(".shard"))
+        .collect();
+    run_span.add_items(members as u64);
+    Ok(DomainBatchRun {
+        members,
+        stages,
+        ledger,
+        shard_files,
+    })
 }
 
 /// Run the complete climate archetype: generate raw NetCDF, execute the
@@ -764,6 +867,49 @@ mod tests {
                 s2.read_file(&name).unwrap(),
                 "{name} differs between identical-seed runs"
             );
+        }
+    }
+
+    #[test]
+    fn streaming_batch_shards_each_member_under_its_own_prefix() {
+        let cfg = small_cfg();
+        let sink: Arc<dyn StorageSink> = Arc::new(MemSink::new());
+        let run = run_streaming_batch(&cfg, sink, 3, &ExecutorConfig::default()).unwrap();
+        assert_eq!(run.members, 3);
+        assert_eq!(run.stages.len(), 4, "validate/regrid/normalize/shard");
+        for m in 0..3 {
+            let prefix = format!("climate/m{m}/");
+            assert!(
+                run.shard_files.iter().any(|n| n.starts_with(&prefix)),
+                "no shards under {prefix}: {:?}",
+                run.shard_files
+            );
+        }
+        // Each member ran regrid + normalize + shard through the shared
+        // ledger.
+        assert!(run.ledger.len() >= 3 * 3, "ledger has {}", run.ledger.len());
+        // Member seeds differ, so member inputs differ.
+        assert_ne!(member_input(&cfg, 0).fields, member_input(&cfg, 1).fields);
+    }
+
+    #[test]
+    fn streaming_batch_outputs_match_rayon_batch() {
+        let cfg = small_cfg();
+        let items = |n: usize| -> Vec<(usize, ClimateData)> {
+            (0..n).map(|m| (m, member_input(&cfg, m))).collect()
+        };
+        let s1: Arc<dyn StorageSink> = Arc::new(MemSink::new());
+        let p1 = build_batch_pipeline(&cfg, s1, Arc::new(Ledger::new()));
+        let (streamed, _) = p1
+            .run_batch_streaming(items(3), &ExecutorConfig::default())
+            .unwrap();
+        let s2: Arc<dyn StorageSink> = Arc::new(MemSink::new());
+        let p2 = build_batch_pipeline(&cfg, s2, Arc::new(Ledger::new()));
+        let (batched, _) = p2.run_batch(items(3)).unwrap();
+        assert_eq!(streamed.len(), batched.len());
+        for ((ma, a), (mb, b)) in streamed.iter().zip(&batched) {
+            assert_eq!(ma, mb, "member order preserved");
+            assert_eq!(a.fields, b.fields, "member {ma} fields differ");
         }
     }
 }

@@ -44,6 +44,21 @@ pub struct DomainRun {
     pub shard_files: Vec<String>,
 }
 
+/// Common result of running a domain batch through the streaming
+/// bounded-memory executor ([`climate::run_streaming_batch`],
+/// [`materials::run_streaming_batch`]): one pipeline, many ensemble
+/// members, merged per-stage metrics.
+pub struct DomainBatchRun {
+    /// Number of batch members processed.
+    pub members: usize,
+    /// Per-stage timing/volume merged across the batch.
+    pub stages: Vec<StageMetrics>,
+    /// Provenance of every transformation across all members.
+    pub ledger: Arc<Ledger>,
+    /// Names of shard blobs written (across members and splits).
+    pub shard_files: Vec<String>,
+}
+
 /// Errors from domain pipelines.
 #[derive(Debug)]
 pub enum DomainError {

@@ -16,14 +16,15 @@
 //! 4. **shard** — each graph becomes a BP process group; a JSONL sidecar
 //!    carries per-sample metadata, split by structure key.
 
-use crate::{DomainError, DomainRun};
+use crate::{DomainBatchRun, DomainError, DomainRun};
 use drai_core::dataset::{DatasetManifest, Modality, VariableSpec};
+use drai_core::executor::{ExecutorConfig, StreamingBatchExt};
 use drai_core::pipeline::{Pipeline, StageCounters};
 use drai_core::readiness::ProcessingStage as S;
 use drai_formats::bp::{BpVar, BpWriter, ProcessGroup};
 use drai_formats::xyz::{parse_xyz, write_xyz, Atom, Frame};
 use drai_io::json::Json;
-use drai_io::sink::StorageSink;
+use drai_io::sink::{MemSink, StorageSink};
 use drai_provenance::{Artifact, Ledger};
 use drai_tensor::stats::Welford;
 use drai_tensor::Tensor;
@@ -389,6 +390,7 @@ pub(crate) fn shard_stage(
     cfg: &MaterialsConfig,
     sink: &dyn StorageSink,
     ledger: &Ledger,
+    prefix: &str,
     data: MaterialsData,
     c: &mut StageCounters,
 ) -> Result<MaterialsData, String> {
@@ -444,10 +446,10 @@ pub(crate) fn shard_stage(
         // take() leaves a default BpWriter (no magic); only the
         // original, which has magic + groups, is finished here.
         let bytes = writer.finish();
-        let name = format!("materials/{}.bp", split.name());
+        let name = format!("{prefix}/{}.bp", split.name());
         sink.write_file(&name, &bytes).map_err(|e| format!("{e}"))?;
         sink.write_file(
-            &format!("materials/{}.jsonl", split.name()),
+            &format!("{prefix}/{}.jsonl", split.name()),
             sidecars[idx].as_bytes(),
         )
         .map_err(|e| format!("{e}"))?;
@@ -487,9 +489,108 @@ pub fn build_pipeline(
             encode_stage(&cfg_encode, data, c)
         })
         .stage("shard", S::Shard, move |data: MaterialsData, c| {
-            shard_stage(&cfg_shard, sink.as_ref(), &ledger_shard, data, c)
+            shard_stage(
+                &cfg_shard,
+                sink.as_ref(),
+                &ledger_shard,
+                "materials",
+                data,
+                c,
+            )
         })
         .build()
+}
+
+/// One batch member's parsed input: generate and parse a member-seeded
+/// raw XYZ in a staging [`MemSink`], the raw material for
+/// [`run_streaming_batch`].
+pub fn member_input(cfg: &MaterialsConfig, member: usize) -> Result<MaterialsData, DomainError> {
+    let member_cfg = MaterialsConfig {
+        seed: cfg.seed.wrapping_add(member as u64),
+        ..cfg.clone()
+    };
+    let staging = MemSink::new();
+    generate_raw(&member_cfg, &staging)?;
+    let raw = staging.read_file("raw/structures.xyz")?;
+    let frames = parse_xyz(&String::from_utf8_lossy(&raw))?;
+    Ok(MaterialsData {
+        frames,
+        energy_stats: (0.0, 1.0),
+        graphs: vec![],
+    })
+}
+
+/// Build the materials pipeline over `(member, data)` items for batch
+/// execution: same stage bodies as [`build_pipeline`], with each
+/// member's BP + JSONL shards written under `materials/m<member>/`.
+pub fn build_batch_pipeline(
+    cfg: &MaterialsConfig,
+    sink: Arc<dyn StorageSink>,
+    ledger: Arc<Ledger>,
+) -> Pipeline<(usize, MaterialsData)> {
+    let cfg_encode = cfg.clone();
+    let cfg_shard = cfg.clone();
+    let ledger_shard = ledger.clone();
+    let ledger_norm = ledger;
+
+    Pipeline::builder("materials-batch")
+        .stage(
+            "parse",
+            S::Ingest,
+            |(m, data): (usize, MaterialsData), c| parse_stage(data, c).map(|data| (m, data)),
+        )
+        .stage("normalize", S::Transform, move |(m, data), c| {
+            normalize_stage(&ledger_norm, data, c).map(|data| (m, data))
+        })
+        .stage("encode", S::Structure, move |(m, data), c| {
+            encode_stage(&cfg_encode, data, c).map(|data| (m, data))
+        })
+        .stage("shard", S::Shard, move |(m, data), c| {
+            shard_stage(
+                &cfg_shard,
+                sink.as_ref(),
+                &ledger_shard,
+                &format!("materials/m{m}"),
+                data,
+                c,
+            )
+            .map(|data| (m, data))
+        })
+        .build()
+}
+
+/// Run a batch of materials datasets through the streaming
+/// bounded-memory executor: `members` member-seeded structure sets flow
+/// through the pipelined stage chain concurrently, each sharding under
+/// its own `materials/m<member>/` prefix.
+pub fn run_streaming_batch(
+    cfg: &MaterialsConfig,
+    sink: Arc<dyn StorageSink>,
+    members: usize,
+    exec: &ExecutorConfig,
+) -> Result<DomainBatchRun, DomainError> {
+    let registry = drai_telemetry::Registry::current();
+    let run_span = registry.span("domain.materials.run_batch");
+    let _in_run = run_span.enter();
+    let ledger = Arc::new(Ledger::new());
+    let pipeline = build_batch_pipeline(cfg, sink.clone(), ledger.clone());
+    let mut items = Vec::with_capacity(members);
+    for m in 0..members {
+        items.push((m, member_input(cfg, m)?));
+    }
+    let (_outputs, stages) = pipeline.run_batch_streaming(items, exec)?;
+    let shard_files = sink
+        .list()?
+        .into_iter()
+        .filter(|n| n.starts_with("materials/") && n.ends_with(".bp"))
+        .collect();
+    run_span.add_items(members as u64);
+    Ok(DomainBatchRun {
+        members,
+        stages,
+        ledger,
+        shard_files,
+    })
 }
 
 /// Run the complete materials archetype.
@@ -747,5 +848,34 @@ mod tests {
         let si = counts["Si"] as f64;
         let ti = *counts.get("Ti").unwrap_or(&1) as f64;
         assert!(si / ti > 3.0, "Si/Ti = {}", si / ti);
+    }
+
+    #[test]
+    fn streaming_batch_shards_each_member_under_its_own_prefix() {
+        let cfg = small_cfg();
+        let sink: Arc<dyn StorageSink> = Arc::new(MemSink::new());
+        let run = run_streaming_batch(&cfg, sink.clone(), 3, &ExecutorConfig::default()).unwrap();
+        assert_eq!(run.members, 3);
+        assert_eq!(run.stages.len(), 4, "parse/normalize/encode/shard");
+        for m in 0..3 {
+            let prefix = format!("materials/m{m}/");
+            assert!(
+                run.shard_files.iter().any(|n| n.starts_with(&prefix)),
+                "no BP shards under {prefix}: {:?}",
+                run.shard_files
+            );
+            // The sidecar rides along under the same member prefix.
+            assert!(
+                sink.list()
+                    .unwrap()
+                    .iter()
+                    .any(|n| n.starts_with(&prefix) && n.ends_with(".jsonl")),
+                "no JSONL sidecar under {prefix}"
+            );
+        }
+        // Member seeds differ, so the raw structure sets differ.
+        let a = member_input(&cfg, 0).unwrap();
+        let b = member_input(&cfg, 1).unwrap();
+        assert_ne!(a.frames[0].atoms[0].position, b.frames[0].atoms[0].position);
     }
 }

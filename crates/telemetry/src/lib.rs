@@ -37,9 +37,11 @@
 //! is emitted somewhere. To add a metric or span, add its family here
 //! and emit it in the same change.
 //!
-//! Producers: `pipeline.*` comes from drai-core; `io.{prefetch,shard,
-//! codec,sink}.*` from drai-io; `io.{fault,retry}.*` from the fault/
-//! retry layer; `domain.*` from drai-domains; `cache.*` from the
+//! Producers: `pipeline.*` comes from drai-core; `executor.*` from
+//! drai-core's streaming batch executor (queue depth, send stalls,
+//! per-stage in-flight, fast-path short-circuits); `io.{prefetch,
+//! shard,codec,sink}.*` from drai-io; `io.{fault,retry}.*` from the
+//! fault/retry layer; `domain.*` from drai-domains; `cache.*` from the
 //! drai-cache stage-result cache; `bench.*` from the
 //! `drai-bench-report` binary; `*.ns` is the histogram every [`Span`]
 //! records on drop.
@@ -92,11 +94,18 @@ pub const HISTOGRAM_BUCKETS: usize = 64;
 /// CI. Span names (`Registry::span` / `Registry::time`) are validated
 /// against the same list.
 pub const METRIC_FAMILIES: &[&str] = &[
-    // drai-core pipeline stages (counter, counter, counter, span histogram)
+    // drai-core pipeline stages (counter, counter, counter, histogram,
+    // span histogram)
     "pipeline.*.*.records",
     "pipeline.*.*.bytes",
     "pipeline.*.*.retries",
+    "pipeline.*.*.item_ns",
     "pipeline.*.refinements",
+    // drai-core streaming executor (gauge, histogram, counter, gauge)
+    "executor.queue_depth",
+    "executor.stall_ns",
+    "executor.shortcircuits",
+    "executor.*.*.inflight",
     // drai-io prefetch workers
     "io.prefetch.items",
     "io.prefetch.work_ns",
@@ -143,10 +152,12 @@ pub const METRIC_FAMILIES: &[&str] = &[
     // span tree: drai-core pipeline run/stage spans
     "pipeline.*.run",
     "pipeline.*.run_batch",
+    "pipeline.*.run_streaming",
     "pipeline.*.run_iterative",
     "pipeline.*.*",
     // span tree: drai-domains archetype runs
     "domain.*.run",
+    "domain.*.run_batch",
     "domain.*.ingest",
     // span tree: drai-io worker and shard container spans
     "io.prefetch.worker",
