@@ -275,14 +275,14 @@ impl<T> ExecShared<'_, T> {
             if self.cancelled(msg.idx) {
                 continue; // drain without work so upstream never blocks
             }
-            self.inflight[s].add(1);
+            let busy = self.inflight[s].inc_scope();
             let start_ns = self.epoch.elapsed_ns();
             let mut counters = StageCounters::default();
             let func = self.stages[s].func.clone();
             let item = msg.item;
             let result = catch_unwind(AssertUnwindSafe(|| func(item, &mut counters)));
             let end_ns = self.epoch.elapsed_ns();
-            self.inflight[s].add(-1);
+            drop(busy);
             match result {
                 Err(payload) => self.record_incident(Incident::Panic {
                     index: msg.idx,

@@ -1,7 +1,7 @@
 //! Command-line front end for `drai-lint`.
 //!
 //! ```text
-//! drai-lint [--root DIR] [--format text|json] [--list-rules]
+//! drai-lint [--root DIR] [--format text|json] [--rule NAME]... [--list-rules]
 //! ```
 //!
 //! Exits 0 when the workspace is clean, 1 when any finding is active,
@@ -21,16 +21,39 @@ enum Format {
 struct Args {
     root: PathBuf,
     format: Format,
+    rules: Vec<String>,
     list_rules: bool,
 }
 
 fn usage() -> String {
-    "usage: drai-lint [--root DIR] [--format text|json] [--list-rules]".to_string()
+    "usage: drai-lint [--root DIR] [--format text|json] [--rule NAME]... [--list-rules]".to_string()
+}
+
+fn help() -> String {
+    format!(
+        "{}\n\n\
+         Workspace-native static analysis for the DRAI codebase.\n\n\
+         Options:\n\
+         \x20 --root DIR       workspace root to scan (default: auto-detected)\n\
+         \x20 --format FMT     report format: `text` (default) or `json`\n\
+         \x20 --rule NAME      only report findings of NAME; repeatable.\n\
+         \x20                  Other rules still run but are filtered from the\n\
+         \x20                  report and the exit status.\n\
+         \x20 --list-rules     print every rule name and exit\n\
+         \x20 -h, --help       print this help and exit\n\n\
+         Exit status (the CI contract):\n\
+         \x20 0  workspace is clean (no active findings after filtering)\n\
+         \x20 1  at least one active finding — suppressions with reasons\n\
+         \x20    (`// drai-lint: allow(rule) reason=\"...\"`) do not count\n\
+         \x20 2  usage error or I/O failure while scanning\n",
+        usage()
+    )
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut root = None;
     let mut format = Format::Text;
+    let mut rules = Vec::new();
     let mut list_rules = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -53,8 +76,23 @@ fn parse_args() -> Result<Args, String> {
                     }
                 };
             }
+            "--rule" => {
+                let name = argv
+                    .next()
+                    .ok_or_else(|| format!("--rule needs a rule name\n{}", usage()))?;
+                if !RULE_NAMES.contains(&name.as_str()) {
+                    return Err(format!(
+                        "unknown rule `{name}` — run --list-rules for the rule set\n{}",
+                        usage()
+                    ));
+                }
+                rules.push(name);
+            }
             "--list-rules" => list_rules = true,
-            "--help" | "-h" => return Err(usage()),
+            "--help" | "-h" => {
+                println!("{}", help());
+                std::process::exit(0);
+            }
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
@@ -73,8 +111,30 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         root,
         format,
+        rules,
         list_rules,
     })
+}
+
+/// Keep only findings (and suppressions) of the selected rules.
+fn filter_report(report: Report, rules: &[String]) -> Report {
+    if rules.is_empty() {
+        return report;
+    }
+    let keep = |rule: &str| rules.iter().any(|r| r == rule);
+    Report {
+        findings: report
+            .findings
+            .into_iter()
+            .filter(|f| keep(f.rule))
+            .collect(),
+        suppressed: report
+            .suppressed
+            .into_iter()
+            .filter(|s| keep(s.finding.rule))
+            .collect(),
+        files_scanned: report.files_scanned,
+    }
 }
 
 fn print_text(report: &Report) {
@@ -116,6 +176,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let report = filter_report(report, &args.rules);
     match args.format {
         Format::Text => print_text(&report),
         Format::Json => print!("{}", report.to_json()),

@@ -564,4 +564,88 @@ mod tests {
             .collect();
         assert_eq!(flags, vec![true, false]);
     }
+
+    // ---- char-literal vs lifetime ambiguity regressions ----
+    //
+    // The structural model (`crate::model`) brace-matches bodies and
+    // walks generic signatures, so a `'{'` misread as a lifetime plus
+    // a stray `{`, or an `'a>` bound misread as a char literal, would
+    // silently corrupt every downstream concurrency rule.
+
+    fn count(src: &str, pred: fn(&Tok) -> bool) -> usize {
+        lex(src).tokens.iter().filter(|t| pred(&t.kind)).count()
+    }
+
+    fn lifetimes(src: &str) -> usize {
+        count(src, |k| matches!(k, Tok::Lifetime))
+    }
+
+    fn char_lits(src: &str) -> usize {
+        count(src, |k| matches!(k, Tok::CharLit))
+    }
+
+    fn brace_delta(src: &str) -> i64 {
+        count(src, |k| matches!(k, Tok::P('{'))) as i64
+            - count(src, |k| matches!(k, Tok::P('}'))) as i64
+    }
+
+    #[test]
+    fn lifetimes_in_generic_bounds_are_not_char_literals() {
+        let src = "fn f<'a, 'b: 'a>(x: &'a str, y: &'b str) -> &'a str { x }";
+        assert_eq!(lifetimes(src), 6);
+        assert_eq!(char_lits(src), 0);
+        assert_eq!(brace_delta(src), 0);
+    }
+
+    #[test]
+    fn single_char_lifetime_before_close_angle() {
+        // `'a>` — the closing angle must stay a separate punct token.
+        let src = "struct S<'a>(&'a [u8]);\nimpl<'a> S<'a> { fn g(&self) {} }";
+        assert_eq!(lifetimes(src), 4);
+        assert_eq!(char_lits(src), 0);
+        assert_eq!(brace_delta(src), 0);
+    }
+
+    #[test]
+    fn byte_char_braces_do_not_unbalance_blocks() {
+        let src = "fn f(b: u8) -> u8 { match b { b'{' => 1, b'}' => 2, b'[' => 3, _ => 0 } }";
+        assert_eq!(char_lits(src), 3);
+        assert_eq!(lifetimes(src), 0);
+        assert_eq!(brace_delta(src), 0);
+    }
+
+    #[test]
+    fn char_literal_braces_and_escapes() {
+        let src = "let a = '{'; let b = '}'; let c = '\\''; let d = '\\\\'; let e = '\\u{7f}'; let f = '_';";
+        assert_eq!(char_lits(src), 6);
+        assert_eq!(lifetimes(src), 0);
+        // Neither the quoted braces nor the `{7f}` escape payload may
+        // leak punctuation tokens.
+        assert_eq!(count(src, |k| matches!(k, Tok::P('{') | Tok::P('}'))), 0);
+    }
+
+    #[test]
+    fn byte_char_ranges_in_match_arms() {
+        let src = "fn d(c: u8) -> bool { matches!(c, b'a'..=b'z' | b'_' | b'0'..=b'9') }";
+        assert_eq!(char_lits(src), 5);
+        assert_eq!(lifetimes(src), 0);
+        assert_eq!(brace_delta(src), 0);
+    }
+
+    #[test]
+    fn loop_labels_and_anonymous_lifetimes() {
+        let src = "fn f() -> Box<dyn Send + '_> { 'outer: loop { break 'outer; } }";
+        assert_eq!(lifetimes(src), 3);
+        assert_eq!(char_lits(src), 0);
+        assert_eq!(brace_delta(src), 0);
+    }
+
+    #[test]
+    fn lifetime_then_char_literal_adjacent() {
+        // A lifetime and a char literal in one expression context.
+        let src = "fn f<'a>(s: &'a str) -> bool { s.starts_with('a') && s.ends_with('\\'') }";
+        assert_eq!(lifetimes(src), 2);
+        assert_eq!(char_lits(src), 2);
+        assert_eq!(brace_delta(src), 0);
+    }
 }

@@ -16,6 +16,14 @@
 //! | `shim-parity` | shim crates import only `std` (no cross-shim or workspace deps), keeping them deletable |
 //! | `error-context` | `IoError` construction in `drai-io` carries a path/shard/record context |
 //! | `no-wallclock` | `Instant::now`/`SystemTime::now` only in `drai-telemetry` and the retry/cache clock seams (deterministic replay) |
+//! | `lock-order` | the workspace-wide lock-acquisition-order graph is acyclic (no ABBA deadlocks, no same-lock reacquisition) |
+//! | `lock-across-blocking` | no live lock guard spans a blocking channel `send`/`recv`, `thread::join`, or backoff sleep |
+//! | `layering` | crate dependencies (manifest and `use`-level) point strictly down the architectural layer stack |
+//! | `gauge-balance` | every gauge increment has a matching decrement, `set`, or RAII scope in the same crate |
+//!
+//! The first six are single-file lexical rules (v1); the last four are
+//! v2 concurrency/architecture rules built on the structural model in
+//! [`model`] (lexer → model → rules).
 //!
 //! ## Suppressions
 //!
@@ -37,6 +45,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub mod lexer;
+pub mod model;
 pub mod rules;
 pub mod suppress;
 
@@ -54,6 +63,8 @@ pub enum FileClass {
     Tests,
     /// Example programs under an `examples/` directory.
     Examples,
+    /// Criterion benchmarks under a `benches/` directory.
+    Bench,
     /// Vendored shim code under `shims/`.
     Shim,
 }
@@ -93,6 +104,9 @@ pub struct Workspace {
     pub metric_families: Vec<MetricFamily>,
     /// `(relative path, contents)` of every `shims/*/Cargo.toml`.
     pub shim_manifests: Vec<(String, String)>,
+    /// `(relative path, contents)` of the root and every
+    /// `crates/*/Cargo.toml` (for the `layering` rule).
+    pub crate_manifests: Vec<(String, String)>,
 }
 
 /// One rule violation.
@@ -212,6 +226,8 @@ pub fn classify(rel: &str) -> (FileClass, String) {
         FileClass::Tests
     } else if rel.starts_with("examples/") || rel.contains("/examples/") {
         FileClass::Examples
+    } else if rel.starts_with("benches/") || rel.contains("/benches/") {
+        FileClass::Bench
     } else if rel.contains("src/bin/") {
         FileClass::Bin
     } else {
@@ -294,11 +310,37 @@ pub fn load_workspace(root: &Path) -> io::Result<Workspace> {
     }
     shim_manifests.sort();
 
+    let mut crate_manifests = Vec::new();
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        crate_manifests.push((
+            "Cargo.toml".to_string(),
+            fs::read_to_string(&root_manifest)?,
+        ));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            let manifest = entry.path().join("Cargo.toml");
+            if manifest.is_file() {
+                let rel = manifest
+                    .strip_prefix(root)
+                    .unwrap_or(&manifest)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                crate_manifests.push((rel, fs::read_to_string(&manifest)?));
+            }
+        }
+    }
+    crate_manifests.sort();
+
     Ok(Workspace {
         root: root.to_path_buf(),
         files,
         metric_families,
         shim_manifests,
+        crate_manifests,
     })
 }
 
@@ -312,9 +354,13 @@ pub fn lint(ws: &Workspace) -> Report {
         rules::shim_parity::check_file(file, &mut raw);
         rules::error_context::check_file(file, &mut raw);
         rules::no_wallclock::check_file(file, &mut raw);
+        rules::lock_blocking::check_file(file, &mut raw);
     }
     rules::telemetry_names::check_workspace(ws, &mut raw);
     rules::shim_parity::check_manifests(ws, &mut raw);
+    rules::lock_order::check_workspace(ws, &mut raw);
+    rules::layering::check_workspace(ws, &mut raw);
+    rules::gauge_balance::check_workspace(ws, &mut raw);
 
     // Apply suppressions per file.
     let mut findings = Vec::new();
@@ -386,6 +432,10 @@ pub const RULE_NAMES: &[&str] = &[
     rules::shim_parity::RULE,
     rules::error_context::RULE,
     rules::no_wallclock::RULE,
+    rules::lock_order::RULE,
+    rules::lock_blocking::RULE,
+    rules::layering::RULE,
+    rules::gauge_balance::RULE,
     suppress::RULE,
 ];
 
@@ -410,6 +460,14 @@ mod tests {
         assert_eq!(
             classify("shims/rand/src/lib.rs"),
             (FileClass::Shim, "rand".to_string())
+        );
+        assert_eq!(
+            classify("crates/bench/benches/pipeline.rs"),
+            (FileClass::Bench, "bench".to_string())
+        );
+        assert_eq!(
+            classify("benches/top_level.rs"),
+            (FileClass::Bench, "drai".to_string())
         );
         assert_eq!(
             classify("tests/end_to_end.rs"),

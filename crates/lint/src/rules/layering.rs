@@ -1,0 +1,351 @@
+//! `layering`: the crate DAG is an architectural invariant, not an
+//! accident of whatever `use` statements happen to compile. Each drai
+//! crate is assigned a layer; a crate's `[dependencies]` (and its
+//! source-level `use drai_*` imports) may only reach *strictly lower*
+//! layers. This stops refactors from silently inverting the
+//! architecture — e.g. `drai-io` growing a dependency on `drai-core`,
+//! or `drai-telemetry` (the bottom of the stack, used by everything)
+//! reaching up into domain code.
+//!
+//! The layer map:
+//!
+//! | layer | crates |
+//! |-------|--------|
+//! | 0 | `drai-telemetry`, `drai-tensor`, `drai-lint` |
+//! | 1 | `drai-io` |
+//! | 2 | `drai-formats`, `drai-transform`, `drai-provenance`, `drai-sim` |
+//! | 3 | `drai-core` |
+//! | 4 | `drai-cache` |
+//! | 5 | `drai-domains` |
+//! | 6 | `drai-bench`, `drai` (root package) |
+//!
+//! `[dev-dependencies]` are exempt: test-only edges cannot invert the
+//! runtime architecture (integration tests legitimately pull in upper
+//! layers as fixtures). Shim crates are covered by `shim-parity`
+//! (they depend on nothing), not by this rule. A drai crate missing
+//! from the map is itself a finding — new crates must be placed
+//! deliberately.
+
+use crate::model;
+use crate::{FileClass, Finding, SourceFile, Workspace};
+
+/// Rule id.
+pub const RULE: &str = "layering";
+
+/// Architectural layer of every known drai crate (package names).
+pub const LAYERS: &[(&str, u32)] = &[
+    ("drai-telemetry", 0),
+    ("drai-tensor", 0),
+    ("drai-lint", 0),
+    ("drai-io", 1),
+    ("drai-formats", 2),
+    ("drai-transform", 2),
+    ("drai-provenance", 2),
+    ("drai-sim", 2),
+    ("drai-core", 3),
+    ("drai-cache", 4),
+    ("drai-domains", 5),
+    ("drai-bench", 6),
+    ("drai", 6),
+];
+
+fn layer_of(package: &str) -> Option<u32> {
+    LAYERS.iter().find(|(n, _)| *n == package).map(|(_, l)| *l)
+}
+
+/// One `[dependencies]` entry naming a drai crate.
+#[derive(Debug)]
+struct Dep {
+    name: String,
+    line: u32,
+}
+
+/// Parsed subset of one manifest.
+#[derive(Debug, Default)]
+struct Manifest {
+    package: Option<String>,
+    deps: Vec<Dep>,
+}
+
+/// Minimal line-oriented TOML walk: track the current `[section]`,
+/// read `name = ...` from `[package]`, and collect `drai*` keys from
+/// runtime dependency sections. `[workspace.dependencies]` is the
+/// shared version table, not a dependency edge, and is skipped, as are
+/// `dev-dependencies` sections.
+fn parse_manifest(contents: &str) -> Manifest {
+    let mut m = Manifest::default();
+    let mut section = String::new();
+    for (idx, raw) in contents.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx as u32 + 1;
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            section = rest.trim_end_matches(']').trim().to_string();
+            // `[dependencies.drai-core]` names the dep in the header.
+            if let Some(dep) = runtime_dep_section(&section) {
+                if dep.starts_with("drai") {
+                    m.deps.push(Dep {
+                        name: dep.trim_matches('"').to_string(),
+                        line: lineno,
+                    });
+                }
+            }
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim();
+        if section == "package" && key == "name" {
+            let val = line[eq + 1..].trim().trim_matches('"');
+            m.package = Some(val.to_string());
+        }
+        if is_runtime_dep_table(&section) {
+            // `drai-core = {..}` or `drai-core.workspace = true`.
+            let name = key.split('.').next().unwrap_or(key).trim_matches('"');
+            if name.starts_with("drai") {
+                m.deps.push(Dep {
+                    name: name.to_string(),
+                    line: lineno,
+                });
+            }
+        }
+    }
+    m
+}
+
+/// True when `section` is an inline runtime dependency table
+/// (`dependencies`, `target.'cfg(..)'.dependencies`).
+fn is_runtime_dep_table(section: &str) -> bool {
+    section == "dependencies"
+        || (section.ends_with(".dependencies") && !section.starts_with("workspace"))
+}
+
+/// If `section` is `dependencies.<name>` (or `target.*.dependencies.<name>`),
+/// return the dependency name.
+fn runtime_dep_section(section: &str) -> Option<&str> {
+    if section.starts_with("workspace") || section.contains("dev-dependencies") {
+        return None;
+    }
+    let (prefix, name) = section.rsplit_once('.')?;
+    (prefix == "dependencies" || prefix.ends_with(".dependencies")).then_some(name)
+}
+
+/// Workspace pass: manifests first, then a source-level `use` check
+/// as a backstop (a path dependency missed by the manifest parse still
+/// shows up as `use drai_x::...` in the importing crate).
+pub fn check_workspace(ws: &Workspace, out: &mut Vec<Finding>) {
+    for (rel, contents) in &ws.crate_manifests {
+        let m = parse_manifest(contents);
+        let Some(package) = m.package else {
+            continue; // virtual manifest (workspace root without [package])
+        };
+        if !package.starts_with("drai") {
+            continue; // shims are shim-parity's problem
+        }
+        let Some(own) = layer_of(&package) else {
+            out.push(Finding {
+                rule: RULE,
+                file: rel.clone(),
+                line: 1,
+                message: format!(
+                    "crate `{package}` is not in the layering map — add it to \
+                     LAYERS in crates/lint/src/rules/layering.rs at a deliberate layer"
+                ),
+            });
+            continue;
+        };
+        for dep in &m.deps {
+            match layer_of(&dep.name) {
+                Some(dl) if dl < own => {}
+                Some(dl) => out.push(Finding {
+                    rule: RULE,
+                    file: rel.clone(),
+                    line: dep.line,
+                    message: format!(
+                        "`{package}` (layer {own}) depends on `{}` (layer {dl}) — \
+                         dependencies must point strictly down the layer stack",
+                        dep.name
+                    ),
+                }),
+                None => out.push(Finding {
+                    rule: RULE,
+                    file: rel.clone(),
+                    line: dep.line,
+                    message: format!(
+                        "`{package}` depends on unmapped crate `{}` — add it to the layering map",
+                        dep.name
+                    ),
+                }),
+            }
+        }
+    }
+
+    for file in &ws.files {
+        check_file_uses(file, out);
+    }
+}
+
+fn in_scope(file: &SourceFile) -> bool {
+    matches!(file.class, FileClass::Lib | FileClass::Bin)
+        && (file.rel.starts_with("crates/") || file.rel.starts_with("src/"))
+}
+
+/// Source-level backstop: `use drai_x::...` in library/binary code must
+/// also point strictly down.
+fn check_file_uses(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_scope(file) {
+        return;
+    }
+    let own_package = if file.crate_name == "drai" {
+        "drai".to_string()
+    } else {
+        format!("drai-{}", file.crate_name)
+    };
+    let Some(own) = layer_of(&own_package) else {
+        return; // unmapped crate already reported at the manifest
+    };
+    let m = model::build(&file.lex);
+    for u in &m.uses {
+        if file.lex.is_test_token(u.token) {
+            continue; // unit-test modules may use dev-dependencies
+        }
+        let Some(rest) = u.root.strip_prefix("drai_") else {
+            continue;
+        };
+        let dep = format!("drai-{}", rest.replace('_', "-"));
+        if dep == own_package {
+            continue; // a crate's own bins import its lib — not an edge
+        }
+        match layer_of(&dep) {
+            Some(dl) if dl < own => {}
+            Some(dl) => out.push(Finding {
+                rule: RULE,
+                file: file.rel.clone(),
+                line: u.line,
+                message: format!(
+                    "`{own_package}` (layer {own}) imports `{dep}` (layer {dl}) — \
+                     imports must point strictly down the layer stack"
+                ),
+            }),
+            None => out.push(Finding {
+                rule: RULE,
+                file: file.rel.clone(),
+                line: u.line,
+                message: format!("import of unmapped crate `{dep}` — add it to the layering map"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_file;
+    use std::path::PathBuf;
+
+    fn ws_of(manifests: Vec<(&str, &str)>, files: Vec<(&str, &str)>) -> Workspace {
+        Workspace {
+            root: PathBuf::new(),
+            files: files
+                .into_iter()
+                .map(|(rel, src)| source_file(rel, src))
+                .collect(),
+            metric_families: vec![],
+            shim_manifests: vec![],
+            crate_manifests: manifests
+                .into_iter()
+                .map(|(rel, c)| (rel.to_string(), c.to_string()))
+                .collect(),
+        }
+    }
+
+    fn run(manifests: Vec<(&str, &str)>, files: Vec<(&str, &str)>) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check_workspace(&ws_of(manifests, files), &mut out);
+        out
+    }
+
+    #[test]
+    fn downward_deps_are_clean() {
+        let m = "[package]\nname = \"drai-core\"\n\n[dependencies]\ndrai-io.workspace = true\ndrai-telemetry.workspace = true\nparking_lot.workspace = true\n";
+        assert!(run(vec![("crates/core/Cargo.toml", m)], vec![]).is_empty());
+    }
+
+    #[test]
+    fn upward_dep_fires() {
+        let m = "[package]\nname = \"drai-io\"\n\n[dependencies]\ndrai-core.workspace = true\n";
+        let f = run(vec![("crates/io/Cargo.toml", m)], vec![]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5);
+        assert!(f[0].message.contains("strictly down"));
+    }
+
+    #[test]
+    fn same_layer_dep_fires() {
+        let m = "[package]\nname = \"drai-formats\"\n\n[dependencies]\ndrai-sim.workspace = true\n";
+        let f = run(vec![("crates/formats/Cargo.toml", m)], vec![]);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn dev_dependencies_exempt() {
+        let m = "[package]\nname = \"drai-io\"\n\n[dev-dependencies]\ndrai-core.workspace = true\n\n[target.'cfg(test)'.dev-dependencies]\ndrai-domains.workspace = true\n";
+        assert!(run(vec![("crates/io/Cargo.toml", m)], vec![]).is_empty());
+    }
+
+    #[test]
+    fn workspace_dependency_table_is_not_an_edge() {
+        let m = "[workspace]\nmembers = [\"crates/*\"]\n\n[workspace.dependencies]\ndrai-core = { path = \"crates/core\" }\n\n[package]\nname = \"drai\"\n\n[dependencies]\ndrai-core.workspace = true\n";
+        assert!(run(vec![("Cargo.toml", m)], vec![]).is_empty());
+    }
+
+    #[test]
+    fn unmapped_crate_fires() {
+        let m = "[package]\nname = \"drai-quantum\"\n\n[dependencies]\n";
+        let f = run(vec![("crates/quantum/Cargo.toml", m)], vec![]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("layering map"));
+    }
+
+    #[test]
+    fn dotted_dep_section_counts() {
+        let m = "[package]\nname = \"drai-io\"\n\n[dependencies.drai-core]\nworkspace = true\n";
+        let f = run(vec![("crates/io/Cargo.toml", m)], vec![]);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn source_use_backstop_fires() {
+        let src = "use drai_core::pipeline::Pipeline;\n\npub fn f() {}\n";
+        let f = run(vec![], vec![("crates/io/src/bad.rs", src)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("imports must point strictly down"));
+    }
+
+    #[test]
+    fn source_use_downward_and_tests_clean() {
+        let down = "use drai_telemetry::Registry;\npub fn f() {}\n";
+        let test_file = "use drai_domains::bio;\nfn main() {}\n";
+        let own_bin = "use drai_io::shard::Shard;\nfn main() {}\n";
+        let f = run(
+            vec![],
+            vec![
+                ("crates/io/src/good.rs", down),
+                ("crates/io/src/bin/io-tool.rs", own_bin),
+                ("crates/io/tests/integration.rs", test_file),
+                ("tests/end_to_end.rs", test_file),
+            ],
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn real_workspace_table_is_consistent() {
+        // Every mapped crate name is unique.
+        let mut names: Vec<&str> = LAYERS.iter().map(|(n, _)| *n).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), LAYERS.len());
+    }
+}

@@ -1,0 +1,166 @@
+//! `lock-across-blocking`: a live lock guard must not span a blocking
+//! channel operation, thread join, or backoff sleep. This is the exact
+//! deadlock-under-backpressure shape the streaming executor must never
+//! regress into: a worker holding a `parking_lot` guard blocks on
+//! `send` into a full bounded channel, the consumer that would drain
+//! the channel needs the same guard, and the chain wedges with every
+//! queue full. Holding a guard across `thread::join` or a retry sleep
+//! has the same structure with a slower clock.
+//!
+//! Recognised blocking operations: `.send(..)` / `.recv()` /
+//! `.recv_timeout(..)` / `.send_timeout(..)` (channels), `.join()`
+//! with no arguments (thread handles — `Vec::join(sep)` takes an
+//! argument and is ignored), `sleep(..)` in call position, and
+//! `.wait(..)` (condvars/barriers).
+
+use crate::model;
+use crate::{FileClass, Finding, SourceFile};
+use std::collections::HashMap;
+
+/// Rule id.
+pub const RULE: &str = "lock-across-blocking";
+
+fn in_scope(file: &SourceFile) -> bool {
+    matches!(file.class, FileClass::Lib | FileClass::Bin)
+        && (file.rel.starts_with("crates/") || file.rel.starts_with("src/"))
+}
+
+/// Scan one file: guard spans come from the model; blocking tokens are
+/// matched inside each span.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_scope(file) {
+        return;
+    }
+    let m = model::build(&file.lex);
+    if m.locks.is_empty() {
+        return;
+    }
+    let locks: HashMap<String, model::LockKind> =
+        m.locks.iter().map(|l| (l.name.clone(), l.kind)).collect();
+    let lex = &file.lex;
+    for f in &m.fns {
+        for span in model::guard_spans(lex, f.body, &locks, &m.braces) {
+            if lex.is_test_token(span.acq.token) {
+                continue;
+            }
+            for i in span.acq.token + 1..=span.live.1.min(lex.tokens.len() - 1) {
+                let Some(op) = blocking_op(lex, i) else {
+                    continue;
+                };
+                out.push(Finding {
+                    rule: RULE,
+                    file: file.rel.clone(),
+                    line: lex.tokens[i].line,
+                    message: format!(
+                        "guard of lock `{}` (acquired line {}) is held across blocking `{op}` — \
+                         under backpressure this wedges every thread that needs the lock; \
+                         drop the guard before blocking",
+                        span.acq.lock, span.acq.line
+                    ),
+                });
+                break; // one finding per guard span is enough
+            }
+        }
+    }
+}
+
+/// If token `i` is a blocking call, return its display name.
+fn blocking_op(lex: &crate::lexer::LexFile, i: usize) -> Option<&'static str> {
+    let name = lex.ident_at(i)?;
+    let method = i > 0 && lex.punct_at(i - 1, '.');
+    let called = lex.punct_at(i + 1, '(');
+    match name {
+        "send" if method && called => Some("send"),
+        "recv" if method && called => Some("recv"),
+        "recv_timeout" if method && called => Some("recv_timeout"),
+        "send_timeout" if method && called => Some("send_timeout"),
+        // Only the no-argument form: `handle.join()`, not `v.join(", ")`.
+        "join" if method && called && lex.punct_at(i + 2, ')') => Some("join"),
+        "sleep" if called => Some("sleep"),
+        "wait" if method && called => Some("wait"),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_file;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check_file(&source_file(rel, src), &mut out);
+        out
+    }
+
+    const DECLS: &str = "struct S { state: Mutex<u8> }\n";
+
+    #[test]
+    fn guard_across_send_fires() {
+        let src = format!(
+            "{DECLS}fn f(s: &S, tx: &Sender<u8>) {{\n    let g = s.state.lock();\n    tx.send(*g).ok();\n}}"
+        );
+        let f = run("crates/core/src/x.rs", &src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("send"));
+        assert!(f[0].message.contains("state"));
+    }
+
+    #[test]
+    fn guard_dropped_before_send_is_clean() {
+        let src = format!(
+            "{DECLS}fn f(s: &S, tx: &Sender<u8>) {{\n    let g = s.state.lock();\n    let v = *g;\n    drop(g);\n    tx.send(v).ok();\n}}"
+        );
+        assert!(run("crates/core/src/x.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn temporary_scoped_to_statement_is_clean() {
+        let src = format!(
+            "{DECLS}fn f(s: &S, tx: &Sender<u8>) {{\n    let v = *s.state.lock();\n    tx.send(v).ok();\n}}"
+        );
+        assert!(run("crates/core/src/x.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn guard_across_recv_join_sleep_fire() {
+        let src = format!(
+            "{DECLS}\
+             fn a(s: &S, rx: &Receiver<u8>) {{ let g = s.state.lock(); rx.recv().ok(); }}\n\
+             fn b(s: &S, h: JoinHandle<()>) {{ let g = s.state.lock(); h.join().ok(); }}\n\
+             fn c(s: &S) {{ let g = s.state.lock(); std::thread::sleep(BACKOFF); }}"
+        );
+        let f = run("crates/core/src/x.rs", &src);
+        assert_eq!(f.len(), 3, "{f:?}");
+    }
+
+    #[test]
+    fn string_join_with_separator_is_not_blocking() {
+        let src = format!(
+            "{DECLS}fn f(s: &S, parts: &[String]) -> String {{\n    let g = s.state.lock();\n    parts.join(\", \")\n}}"
+        );
+        assert!(run("crates/core/src/x.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn scrutinee_guard_across_send_fires() {
+        let src = format!(
+            "{DECLS}fn f(s: &S, tx: &Sender<u8>) {{\n    for v in s.state.lock().iter() {{\n        tx.send(*v).ok();\n    }}\n}}"
+        );
+        let f = run("crates/core/src/x.rs", &src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn tests_and_out_of_scope_exempt() {
+        let src = format!(
+            "{DECLS}\n#[cfg(test)]\nmod tests {{\n    #[test]\n    fn t(s: &S, tx: &Sender<u8>) {{ let g = s.state.lock(); tx.send(1).ok(); }}\n}}"
+        );
+        assert!(run("crates/core/src/x.rs", &src).is_empty());
+        let plain = format!(
+            "{DECLS}fn f(s: &S, tx: &Sender<u8>) {{ let g = s.state.lock(); tx.send(1).ok(); }}"
+        );
+        assert!(run("tests/streaming.rs", &plain).is_empty());
+        assert!(run("examples/quickstart.rs", &plain).is_empty());
+    }
+}

@@ -2,6 +2,10 @@
 //! `check_file` entry point; cross-file rules add a workspace pass.
 
 pub mod error_context;
+pub mod gauge_balance;
+pub mod layering;
+pub mod lock_blocking;
+pub mod lock_order;
 pub mod no_panic;
 pub mod no_wallclock;
 pub mod shim_parity;

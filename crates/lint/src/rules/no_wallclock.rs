@@ -19,7 +19,10 @@ const ALLOWED_FILES: &[&str] = &["crates/io/src/retry.rs", "crates/cache/src/clo
 const ALLOWED_CRATES: &[&str] = &["telemetry", "bench"];
 
 fn in_scope(file: &SourceFile) -> bool {
-    if !matches!(file.class, FileClass::Lib | FileClass::Bin) {
+    if !matches!(
+        file.class,
+        FileClass::Lib | FileClass::Bin | FileClass::Bench
+    ) {
         return false;
     }
     if !(file.rel.starts_with("crates/") || file.rel.starts_with("src/")) {

@@ -146,6 +146,7 @@ mod tests {
             root: PathBuf::new(),
             files: vec![],
             metric_families: vec![],
+            crate_manifests: vec![],
             shim_manifests: vec![(
                 "shims/rayon/Cargo.toml".to_string(),
                 "[package]\nname = \"rayon\"\n\n[dependencies]\ncrossbeam = { path = \"../crossbeam\" }\n".to_string(),
@@ -164,6 +165,7 @@ mod tests {
             root: PathBuf::new(),
             files: vec![],
             metric_families: vec![],
+            crate_manifests: vec![],
             shim_manifests: vec![(
                 "shims/rand/Cargo.toml".to_string(),
                 "[package]\nname = \"rand\"\nversion.workspace = true\n\n[dependencies]\n# none: shims are std-only\n\n[lib]\npath = \"src/lib.rs\"\n".to_string(),

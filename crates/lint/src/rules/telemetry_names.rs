@@ -44,8 +44,10 @@ pub struct Usage {
 
 /// True when the rule scans this file.
 fn in_scope(file: &SourceFile) -> bool {
-    matches!(file.class, FileClass::Lib | FileClass::Bin)
-        && (file.rel.starts_with("crates/") || file.rel.starts_with("src/"))
+    matches!(
+        file.class,
+        FileClass::Lib | FileClass::Bin | FileClass::Bench
+    ) && (file.rel.starts_with("crates/") || file.rel.starts_with("src/"))
 }
 
 /// Extract metric-name use sites from non-test code.
@@ -313,6 +315,7 @@ mod tests {
                 })
                 .collect(),
             shim_manifests: Vec::new(),
+            crate_manifests: Vec::new(),
         }
     }
 

@@ -15,6 +15,28 @@ fn workspace_root() -> std::path::PathBuf {
 }
 
 #[test]
+fn all_ten_rules_are_registered() {
+    // The v2 rule set: six lexical rules, four model-based
+    // concurrency/architecture rules, plus the suppression meta-rule.
+    // A rule that silently drops out of RULE_NAMES stops being
+    // suppressible and stops being listed — pin the full set.
+    let expected = [
+        "no-panic-in-lib",
+        "telemetry-names",
+        "unsafe-audit",
+        "shim-parity",
+        "error-context",
+        "no-wallclock",
+        "lock-order",
+        "lock-across-blocking",
+        "layering",
+        "gauge-balance",
+        "suppression",
+    ];
+    assert_eq!(drai_lint::RULE_NAMES, &expected);
+}
+
+#[test]
 fn workspace_is_lint_clean() {
     let root = workspace_root();
     let report = drai_lint::lint_workspace(&root).expect("workspace scan succeeds");

@@ -260,6 +260,29 @@ impl Gauge {
     pub fn max(&self) -> i64 {
         self.max_seen.load(Ordering::Relaxed)
     }
+
+    /// RAII increment: `+1` now, `-1` when the guard drops. The only
+    /// way to keep an in-flight gauge honest across early returns and
+    /// unwinds — a manual `add(-1)` on every exit path eventually
+    /// misses one, and the metric drifts up forever.
+    #[inline]
+    pub fn inc_scope(&self) -> GaugeGuard<'_> {
+        self.add(1);
+        GaugeGuard { gauge: self }
+    }
+}
+
+/// Guard returned by [`Gauge::inc_scope`]; decrements on drop.
+#[must_use = "dropping the guard immediately undoes the increment"]
+#[derive(Debug)]
+pub struct GaugeGuard<'a> {
+    gauge: &'a Gauge,
+}
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.gauge.add(-1);
+    }
 }
 
 /// Fixed-bucket log2 histogram for durations (or any u64 magnitude).
@@ -897,6 +920,30 @@ mod tests {
         assert_eq!(g.get(), 0);
         assert!(g.max() >= 1000, "max {} lost updates", g.max());
         assert!(g.max() <= 8000, "max {} overcounted", g.max());
+    }
+
+    #[test]
+    fn gauge_scope_guard_balances() {
+        let g = Gauge::default();
+        {
+            let _outer = g.inc_scope();
+            let _inner = g.inc_scope();
+            assert_eq!(g.get(), 2);
+        }
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.max(), 2);
+    }
+
+    #[test]
+    fn gauge_scope_guard_decrements_on_unwind() {
+        let g = Gauge::default();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _busy = g.inc_scope();
+            panic!("stage failed");
+        }));
+        assert!(r.is_err());
+        assert_eq!(g.get(), 0, "guard must decrement on unwind");
+        assert_eq!(g.max(), 1);
     }
 
     #[test]
