@@ -18,13 +18,18 @@
 //!
 //! ```text
 //! drai-bench-report [--smoke] [--warn-only] [--pr N] [--out DIR]
-//!                   [--threshold F] [--compare-only BASE CUR]
+//!                   [--threshold F] [--compare-only BASE CUR] [--monitor]
 //! ```
 //!
 //! `--smoke` runs tiny sizes and keeps the report out of the repo root
 //! (CI plumbing check); smoke and full reports never compare against
 //! each other. `--compare-only` skips the benches and just gates two
-//! existing report files (used by the self-test).
+//! existing report files (used by the self-test). `--monitor` skips the
+//! bench suite and instead runs the monitored streaming climate batch,
+//! writing the `drai-monitor/v1` artifact `MONITOR_<pr>.jsonl` next to
+//! where `BENCH_<pr>.json` would land (repo root, or `--out` under
+//! `--smoke`), self-checks the round-trip, and prints the backpressure
+//! diagnosis.
 
 use drai_bench::report::{
     compare, delta_table, find_baseline, BenchResult, Report, DEFAULT_THRESHOLD,
@@ -534,6 +539,7 @@ type BenchFn = Box<dyn FnOnce(&Registry, &Sizes) -> Result<(), String>>;
 struct Args {
     smoke: bool,
     warn_only: bool,
+    monitor: bool,
     pr: u64,
     out: PathBuf,
     threshold: f64,
@@ -544,7 +550,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         smoke: false,
         warn_only: false,
-        pr: 7,
+        monitor: false,
+        pr: 8,
         out: PathBuf::from("target/bench-report"),
         threshold: DEFAULT_THRESHOLD,
         compare_only: None,
@@ -554,6 +561,7 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--smoke" => args.smoke = true,
             "--warn-only" => args.warn_only = true,
+            "--monitor" => args.monitor = true,
             "--pr" => {
                 args.pr = it
                     .next()
@@ -574,8 +582,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: drai-bench-report [--smoke] [--warn-only] [--pr N] [--out DIR] \
-                     [--threshold F] [--compare-only BASE CURRENT]"
+                    "usage: drai-bench-report [--smoke] [--warn-only] [--monitor] [--pr N] \
+                     [--out DIR] [--threshold F] [--compare-only BASE CURRENT]"
                 );
                 std::process::exit(0);
             }
@@ -583,6 +591,62 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// `--monitor` mode: run the streaming climate batch under the live
+/// monitor sampler, write the `drai-monitor/v1` JSONL artifact next to
+/// where the BENCH report would land, self-check the round-trip and
+/// the presence of executor series, and print the diagnosis.
+fn run_monitor(args: &Args, sz: &Sizes, repo_root: &Path) -> Result<ExitCode, String> {
+    use drai_domains::MonitorOptions;
+    use drai_telemetry::monitor::MonitorReport;
+
+    let registry = Registry::new();
+    let scope = TraceContext::root(&registry).attach();
+    let cfg = climate_cache_cfg(sz);
+    let sink: Arc<dyn StorageSink> = Arc::new(MemSink::new());
+    let mon = MonitorOptions {
+        progress: !args.smoke,
+        ..MonitorOptions::default()
+    };
+    let exec = ExecutorConfig::for_host();
+    let started = Instant::now();
+    let (run, report) = climate::run_streaming_batch_monitored(&cfg, sink, sz.members, &exec, &mon)
+        .map_err(|e| format!("{e}"))?;
+    let wall = started.elapsed();
+    drop(scope);
+    eprintln!(
+        "  monitored streaming batch: {} members, {} shard blobs, {:.1} ms, {} samples",
+        run.members,
+        run.shard_files.len(),
+        wall.as_secs_f64() * 1e3,
+        report.ticks
+    );
+
+    let text = report.to_jsonl();
+    // Self-check before writing: the artifact must parse back
+    // byte-identically and carry at least one executor series.
+    let parsed = MonitorReport::parse_jsonl(&text)?;
+    if parsed.to_jsonl() != text {
+        return Err("monitor artifact did not round-trip byte-identically".into());
+    }
+    if !parsed
+        .series
+        .iter()
+        .any(|s| s.name.starts_with("executor."))
+    {
+        return Err("monitor artifact has no executor.* series".into());
+    }
+
+    let path = if args.smoke {
+        args.out.join(format!("MONITOR_{}.jsonl", args.pr))
+    } else {
+        repo_root.join(format!("MONITOR_{}.jsonl", args.pr))
+    };
+    std::fs::write(&path, &text).map_err(|e| format!("{e}"))?;
+    eprintln!("wrote {}", path.display());
+    print!("{}", parsed.diagnose().render());
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Gate a comparison: print the table, return the exit code.
@@ -621,6 +685,19 @@ fn run() -> Result<ExitCode, String> {
     }
 
     let sz = Sizes::new(args.smoke);
+    // Repo root = two levels above this crate's manifest.
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .ok_or("cannot locate repo root")?
+        .to_path_buf();
+
+    if args.monitor {
+        std::fs::create_dir_all(&args.out).map_err(|e| format!("{e}"))?;
+        eprintln!("drai-bench-report: mode=monitor pr={}", args.pr);
+        return run_monitor(&args, &sz, &repo_root);
+    }
+
     let mode = if args.smoke { "smoke" } else { "full" };
     std::fs::create_dir_all(&args.out).map_err(|e| format!("{e}"))?;
     let _ = std::fs::remove_file(args.out.join("critical_paths.txt"));
@@ -689,12 +766,6 @@ fn run() -> Result<ExitCode, String> {
         benches: results,
     };
 
-    // Repo root = two levels above this crate's manifest.
-    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .ok_or("cannot locate repo root")?
-        .to_path_buf();
     let json = report.to_json();
     let report_path = if args.smoke {
         args.out.join(format!("BENCH_{}.json", args.pr))

@@ -143,7 +143,7 @@ fn smoke_run_produces_report_and_trace_artifacts() {
     let (code, text) = gate(&["--smoke", "--warn-only", "--out", dir.to_str().unwrap()]);
     assert_eq!(code, 0, "{text}");
     let report =
-        Report::parse(&std::fs::read_to_string(dir.join("BENCH_7.json")).unwrap()).unwrap();
+        Report::parse(&std::fs::read_to_string(dir.join("BENCH_8.json")).unwrap()).unwrap();
     assert_eq!(report.mode, "smoke");
     assert_eq!(report.benches.len(), 13);
     for b in &report.benches {

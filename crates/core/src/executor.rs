@@ -35,15 +35,21 @@
 //! producers spend blocked on a full downstream channel — the
 //! backpressure signal), `executor.<pipeline>.<stage>.inflight`
 //! (per-stage gauge of items inside the stage function),
-//! `executor.shortcircuits` (fast-path hits that skipped a hop), and a
+//! `executor.shortcircuits` (fast-path hits that skipped a hop),
+//! `executor.items_completed` (counter ticking live as items clear the
+//! whole chain — the progress signal the monitor sampler reads), and a
 //! `pipeline.<name>.run_streaming` span. Per-stage `.records`/`.bytes`
 //! counters and `.ns`/`.item_ns` histograms follow the `run_batch`
 //! contract.
+//!
+//! [`executor_health_spec`] packages these metrics into the default
+//! `drai_telemetry::monitor` health rules for a streaming run.
 
 use crate::metrics::Throughput;
 use crate::pipeline::{FastPath, Pipeline, StageCounters, StageDef, StageMetrics};
 use crate::CoreError;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use drai_telemetry::monitor::{Condition, HealthSpec};
 use drai_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch, TraceContext};
 use parking_lot::Mutex;
 use std::any::Any;
@@ -90,6 +96,31 @@ impl ExecutorConfig {
             }
         }
     }
+}
+
+/// Default monitor health rules for a streaming run under `cfg` with
+/// `nstages` stages:
+///
+/// - `queue_saturated`: the `executor.queue_depth` window watermark
+///   reached every channel's capacity at once — the chain is fully
+///   backpressured end to end.
+/// - `no_progress`: `executor.items_completed` went 8 consecutive
+///   samples without an item clearing the chain — a stall or livelock
+///   candidate at the sampling cadence.
+pub fn executor_health_spec(cfg: &ExecutorConfig, nstages: usize) -> HealthSpec {
+    let cap = cfg.channel_capacity.max(1);
+    let saturated = ((nstages + 1) * cap) as i64;
+    HealthSpec::new()
+        .rule(
+            "queue_saturated",
+            "executor.queue_depth",
+            Condition::GaugeAbove(saturated),
+        )
+        .rule(
+            "no_progress",
+            "executor.items_completed",
+            Condition::StallFor(8),
+        )
 }
 
 /// Streaming counterpart of `Pipeline::run_batch`.
@@ -397,8 +428,14 @@ impl<T: Send> StreamingBatchExt<T> for Pipeline<T> {
             };
             drop(chans_rx);
             drop(chans_tx);
+            // Live progress signal: unlike the per-stage counters
+            // published after the batch completes, this counter ticks
+            // as each item clears the whole chain, so the monitor
+            // sampler can compute items/s and ETA mid-run.
+            let completed = registry.counter("executor.items_completed");
             while let Ok(msg) = out_rx.recv() {
                 shared.queue_depth.add(-1);
+                completed.incr();
                 if let Some(slot) = slots.get_mut(msg.idx) {
                     *slot = Some(msg.item);
                 }
@@ -510,6 +547,26 @@ mod tests {
         assert_eq!(snap.histograms["pipeline.exec.b.ns"].count, 1);
         assert_eq!(snap.histograms["pipeline.exec.b.item_ns"].count, 100);
         assert_eq!(snap.spans_named("pipeline.exec.run_streaming").len(), 1);
+        // The live progress counter ticked once per item.
+        assert_eq!(snap.counters["executor.items_completed"], 100);
+    }
+
+    #[test]
+    fn health_spec_scales_saturation_to_config() {
+        let cfg = ExecutorConfig {
+            channel_capacity: 4,
+            workers_per_stage: 2,
+        };
+        let spec = executor_health_spec(&cfg, 3);
+        let rules = spec.rules();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].name, "queue_saturated");
+        assert_eq!(rules[0].metric, "executor.queue_depth");
+        // 4 channels (3 stages + output) × capacity 4.
+        assert_eq!(rules[0].cond, Condition::GaugeAbove(16));
+        assert_eq!(rules[1].name, "no_progress");
+        assert_eq!(rules[1].metric, "executor.items_completed");
+        assert_eq!(rules[1].cond, Condition::StallFor(8));
     }
 
     #[test]
@@ -546,7 +603,7 @@ mod tests {
         let ((), snap) = in_registry(|| {
             p.run_batch_streaming(items, &cfg).unwrap();
         });
-        let (_, high_water) = snap.gauges["executor.queue_depth"];
+        let high_water = snap.gauges["executor.queue_depth"].max;
         // 4 channels × capacity 2, plus one transient per producer
         // between recv and gauge decrement — far below the batch size.
         let bound = (4 * cfg.channel_capacity + 3 * cfg.workers_per_stage + 1) as i64;

@@ -14,9 +14,9 @@
 //! 4. **shard** — split by timestep key, pack `[vars, lat, lon]` f32
 //!    tensors into NPY members of NPZ (STORE ZIP) shards.
 
-use crate::{DomainBatchRun, DomainError, DomainRun};
+use crate::{DomainBatchRun, DomainError, DomainRun, MonitorOptions};
 use drai_core::dataset::{DatasetManifest, Modality, VariableSpec};
-use drai_core::executor::{ExecutorConfig, StreamingBatchExt};
+use drai_core::executor::{executor_health_spec, ExecutorConfig, StreamingBatchExt};
 use drai_core::pipeline::{Pipeline, StageCounters};
 use drai_core::readiness::ProcessingStage as S;
 use drai_formats::netcdf::{NcAttr, NcDim, NcFile, NcValues, NcVar};
@@ -26,6 +26,7 @@ use drai_io::parallel::prefetch_map;
 use drai_io::shard::{ShardSpec, ShardWriter};
 use drai_io::sink::StorageSink;
 use drai_provenance::{Artifact, Ledger};
+use drai_telemetry::monitor::MonitorReport;
 use drai_tensor::stats::Welford;
 use drai_tensor::{LatLonGrid, Tensor};
 use drai_transform::normalize::{Method, Normalizer};
@@ -35,6 +36,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Variables in the synthetic CMIP-like set (ORBIT/ClimaX-style subset).
 pub const VARIABLES: [(&str, &str, bool); 4] = [
@@ -523,26 +525,72 @@ pub fn build_batch_pipeline(
     sink: Arc<dyn StorageSink>,
     ledger: Arc<Ledger>,
 ) -> Pipeline<(usize, ClimateData)> {
+    batch_pipeline_with_lag(cfg, sink, ledger, None)
+}
+
+/// [`build_batch_pipeline`] with `delay` of artificial busy-work
+/// injected into the named stage (`validate`, `regrid`, `normalize`,
+/// or `shard`) on every item — a fault hook for exercising the monitor
+/// diagnosis: the slowed stage must surface as the bottleneck.
+pub fn build_batch_pipeline_slowed(
+    cfg: &ClimateConfig,
+    sink: Arc<dyn StorageSink>,
+    ledger: Arc<Ledger>,
+    slow_stage: &str,
+    delay: Duration,
+) -> Pipeline<(usize, ClimateData)> {
+    batch_pipeline_with_lag(cfg, sink, ledger, Some((slow_stage.to_string(), delay)))
+}
+
+fn batch_pipeline_with_lag(
+    cfg: &ClimateConfig,
+    sink: Arc<dyn StorageSink>,
+    ledger: Arc<Ledger>,
+    lag: Option<(String, Duration)>,
+) -> Pipeline<(usize, ClimateData)> {
     let cfg_regrid = cfg.clone();
     let cfg_shard = cfg.clone();
     let ledger_regrid = ledger.clone();
     let ledger_norm = ledger.clone();
     let ledger_shard = ledger;
     let sink_shard = sink;
+    let stage_lag = |stage: &str| -> Option<Duration> {
+        lag.as_ref()
+            .filter(|(name, _)| name == stage)
+            .map(|(_, d)| *d)
+    };
+    let lag_validate = stage_lag("validate");
+    let lag_regrid = stage_lag("regrid");
+    let lag_normalize = stage_lag("normalize");
+    let lag_shard = stage_lag("shard");
 
     Pipeline::builder("climate-batch")
         .stage(
             "validate",
             S::Ingest,
-            |(m, data): (usize, ClimateData), c| validate_stage(data, c).map(|data| (m, data)),
+            move |(m, data): (usize, ClimateData), c| {
+                if let Some(d) = lag_validate {
+                    std::thread::sleep(d);
+                }
+                validate_stage(data, c).map(|data| (m, data))
+            },
         )
         .stage("regrid", S::Preprocess, move |(m, data), c| {
+            if let Some(d) = lag_regrid {
+                std::thread::sleep(d);
+            }
             regrid_stage(&cfg_regrid, &ledger_regrid, data, c).map(|data| (m, data))
         })
         .stage("normalize", S::Transform, move |(m, data), c| {
+            if let Some(d) = lag_normalize {
+                std::thread::sleep(d);
+            }
             normalize_stage(&ledger_norm, data, c).map(|data| (m, data))
         })
         .stage("shard", S::Shard, move |(m, data), c| {
+            if let Some(d) = lag_shard {
+                std::thread::sleep(d);
+            }
             shard_stage(
                 &cfg_shard,
                 sink_shard.as_ref(),
@@ -585,6 +633,24 @@ pub fn run_streaming_batch(
         stages,
         ledger,
         shard_files,
+    })
+}
+
+/// [`run_streaming_batch`] under a live monitor: a background sampler
+/// records executor time series at `mon.interval`, evaluates the
+/// default [`executor_health_spec`] rules, optionally prints live
+/// progress lines, and returns the [`MonitorReport`] (series, health
+/// events, backpressure diagnosis) next to the batch result.
+pub fn run_streaming_batch_monitored(
+    cfg: &ClimateConfig,
+    sink: Arc<dyn StorageSink>,
+    members: usize,
+    exec: &ExecutorConfig,
+    mon: &MonitorOptions,
+) -> Result<(DomainBatchRun, MonitorReport), DomainError> {
+    let spec = executor_health_spec(exec, 4);
+    crate::monitored_run("climate-batch", members as u64, mon, spec, || {
+        run_streaming_batch(cfg, sink, members, exec)
     })
 }
 

@@ -29,7 +29,75 @@ pub mod materials;
 use drai_core::pipeline::StageMetrics;
 use drai_core::DatasetManifest;
 use drai_provenance::Ledger;
+use drai_telemetry::monitor::{
+    HealthSpec, MonitorReport, ProgressTarget, Sampler, SamplerConfig, WallMonitorClock,
+};
+use drai_telemetry::Registry;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Live-monitoring knobs for the `run_streaming_batch_monitored`
+/// entry points ([`climate::run_streaming_batch_monitored`],
+/// [`materials::run_streaming_batch_monitored`]).
+#[derive(Debug, Clone)]
+pub struct MonitorOptions {
+    /// Background sampling interval.
+    pub interval: Duration,
+    /// Ring-buffer capacity per metric series.
+    pub capacity: usize,
+    /// Emit live progress lines (`items/s`, ETA) to stderr.
+    pub progress: bool,
+}
+
+impl Default for MonitorOptions {
+    fn default() -> Self {
+        MonitorOptions {
+            interval: Duration::from_millis(5),
+            capacity: 1024,
+            progress: false,
+        }
+    }
+}
+
+/// Run `f` under a background monitor sampler on the current registry:
+/// series are sampled every `opts.interval`, `spec` health rules are
+/// evaluated per sample, progress is read from the executor's live
+/// `executor.items_completed` counter against `total_items`, and the
+/// final report (including the closing sample) is returned next to
+/// `f`'s output.
+pub(crate) fn monitored_run<T>(
+    label: &'static str,
+    total_items: u64,
+    opts: &MonitorOptions,
+    spec: HealthSpec,
+    f: impl FnOnce() -> Result<T, DomainError>,
+) -> Result<(T, MonitorReport), DomainError> {
+    let registry = Registry::current();
+    let sampler_cfg = SamplerConfig {
+        capacity: opts.capacity,
+        progress: Some(ProgressTarget {
+            counter: "executor.items_completed".to_string(),
+            total: total_items,
+        }),
+    };
+    let mut sampler = Sampler::new(
+        &registry,
+        Arc::new(WallMonitorClock::new()),
+        sampler_cfg,
+        spec,
+    );
+    if opts.progress {
+        sampler = sampler.with_observer(move |tick| {
+            if let Some(p) = tick.progress {
+                eprintln!("[{label}] {}", p.render());
+            }
+        });
+    }
+    let handle = sampler.start(opts.interval);
+    let out = f();
+    let report = handle.stop();
+    out.map(|v| (v, report))
+}
 
 /// Common result of running a domain pipeline.
 pub struct DomainRun {

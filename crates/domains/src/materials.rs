@@ -16,9 +16,9 @@
 //! 4. **shard** — each graph becomes a BP process group; a JSONL sidecar
 //!    carries per-sample metadata, split by structure key.
 
-use crate::{DomainBatchRun, DomainError, DomainRun};
+use crate::{DomainBatchRun, DomainError, DomainRun, MonitorOptions};
 use drai_core::dataset::{DatasetManifest, Modality, VariableSpec};
-use drai_core::executor::{ExecutorConfig, StreamingBatchExt};
+use drai_core::executor::{executor_health_spec, ExecutorConfig, StreamingBatchExt};
 use drai_core::pipeline::{Pipeline, StageCounters};
 use drai_core::readiness::ProcessingStage as S;
 use drai_formats::bp::{BpVar, BpWriter, ProcessGroup};
@@ -26,6 +26,7 @@ use drai_formats::xyz::{parse_xyz, write_xyz, Atom, Frame};
 use drai_io::json::Json;
 use drai_io::sink::{MemSink, StorageSink};
 use drai_provenance::{Artifact, Ledger};
+use drai_telemetry::monitor::MonitorReport;
 use drai_tensor::stats::Welford;
 use drai_tensor::Tensor;
 use drai_transform::split::{assign, Fractions, Split};
@@ -593,6 +594,24 @@ pub fn run_streaming_batch(
     })
 }
 
+/// [`run_streaming_batch`] under a live monitor — same contract as
+/// [`crate::climate::run_streaming_batch_monitored`]: executor time
+/// series sampled at `mon.interval`, default
+/// [`executor_health_spec`] rules, optional live progress lines, and
+/// the [`MonitorReport`] returned next to the batch result.
+pub fn run_streaming_batch_monitored(
+    cfg: &MaterialsConfig,
+    sink: Arc<dyn StorageSink>,
+    members: usize,
+    exec: &ExecutorConfig,
+    mon: &MonitorOptions,
+) -> Result<(DomainBatchRun, MonitorReport), DomainError> {
+    let spec = executor_health_spec(exec, 4);
+    crate::monitored_run("materials-batch", members as u64, mon, spec, || {
+        run_streaming_batch(cfg, sink, members, exec)
+    })
+}
+
 /// Run the complete materials archetype.
 pub fn run(cfg: &MaterialsConfig, sink: Arc<dyn StorageSink>) -> Result<DomainRun, DomainError> {
     let registry = drai_telemetry::Registry::current();
@@ -877,5 +896,33 @@ mod tests {
         let a = member_input(&cfg, 0).unwrap();
         let b = member_input(&cfg, 1).unwrap();
         assert_ne!(a.frames[0].atoms[0].position, b.frames[0].atoms[0].position);
+    }
+
+    #[test]
+    fn streaming_batch_monitored_records_executor_series() {
+        use drai_telemetry::{Registry, TraceContext};
+        let reg = Registry::new();
+        let _scope = TraceContext::root(&reg).attach();
+        let cfg = small_cfg();
+        let sink: Arc<dyn StorageSink> = Arc::new(MemSink::new());
+        let mon = MonitorOptions {
+            interval: std::time::Duration::from_millis(1),
+            ..MonitorOptions::default()
+        };
+        let (run, report) =
+            run_streaming_batch_monitored(&cfg, sink, 3, &ExecutorConfig::default(), &mon).unwrap();
+        assert_eq!(run.members, 3);
+        // The closing sample guarantees the executor series exist even
+        // when the run beats the first interval.
+        assert!(report.ticks >= 1);
+        let done = report
+            .series_named("executor.items_completed")
+            .expect("live progress counter sampled");
+        assert_eq!(done.latest().unwrap().value, 3.0);
+        assert!(report.series_named("executor.queue_depth").is_some());
+        // Artifact round-trips through the JSONL schema.
+        let text = report.to_jsonl();
+        let parsed = drai_telemetry::monitor::MonitorReport::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.to_jsonl(), text);
     }
 }

@@ -16,6 +16,12 @@
 //! namespace — trace trees, the bench-report stage breakdown, and the
 //! Chrome/flamegraph exporters key on them — so they are held to the
 //! identical grammar and registration requirements.
+//!
+//! HealthSpec rule names (`spec.rule("name", ...)` in
+//! `drai_telemetry::monitor`) are interned into the namespace as
+//! `monitor.rule.<name>` counters, so literal rule names at `.rule(`
+//! call sites are checked as that derived pattern against the same
+//! grammar and registry.
 
 use crate::lexer::{LexFile, Tok};
 use crate::{FileClass, Finding, MetricFamily, SourceFile, Workspace};
@@ -30,6 +36,13 @@ pub const REGISTRY_FILE: &str = "crates/telemetry/src/lib.rs";
 pub const REGISTRY_CONST: &str = "METRIC_FAMILIES";
 
 const METRIC_METHODS: &[&str] = &["counter", "gauge", "histogram", "span", "time"];
+
+/// HealthSpec builder method whose first (literal) argument becomes a
+/// `monitor.rule.<name>` counter at runtime.
+const HEALTH_RULE_METHOD: &str = "rule";
+
+/// Namespace prefix HealthSpec rule names are interned under.
+const HEALTH_RULE_PREFIX: &str = "monitor.rule";
 
 /// One metric-name use site.
 #[derive(Debug, Clone)]
@@ -62,7 +75,8 @@ pub fn collect_usages(file: &SourceFile) -> Vec<Usage> {
         let Some(method) = lex.ident_at(i) else {
             continue;
         };
-        if !METRIC_METHODS.contains(&method) {
+        let is_health_rule = method == HEALTH_RULE_METHOD;
+        if !METRIC_METHODS.contains(&method) && !is_health_rule {
             continue;
         }
         if i == 0 || !lex.punct_at(i - 1, '.') || !lex.punct_at(i + 1, '(') {
@@ -72,6 +86,19 @@ pub fn collect_usages(file: &SourceFile) -> Vec<Usage> {
         let mut j = i + 2;
         while lex.punct_at(j, '&') {
             j += 1;
+        }
+        if is_health_rule {
+            // `.rule("name", ...)` — the literal rule name is interned
+            // as `monitor.rule.<name>`. Dynamic names are skipped, like
+            // dynamic metric names.
+            if let Some(Tok::Str { value, .. }) = toks.get(j).map(|t| &t.kind) {
+                out.push(Usage {
+                    pattern: format!("{HEALTH_RULE_PREFIX}.{value}"),
+                    line: toks[i].line,
+                    method: "health-rule".to_string(),
+                });
+            }
+            continue;
         }
         let pattern = match toks.get(j).map(|t| &t.kind) {
             Some(Tok::Str { value, .. }) => Some(value.clone()),
@@ -404,6 +431,52 @@ mod tests {
             r#"fn f(r: &Registry) { let _s = r.span("io.prefetch.worker"); }"#,
         );
         let ws = ws_with(vec![emitting], &["io.prefetch.worker"]);
+        let mut out = Vec::new();
+        check_workspace(&ws, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn health_rule_names_checked_as_monitor_rule_counters() {
+        let families = &["monitor.rule.*", "executor.queue_depth"];
+        let good = r#"fn f(s: HealthSpec) -> HealthSpec { s.rule("queue_saturated", "executor.queue_depth", Condition::GaugeAbove(4)) }"#;
+        assert!(run_file("crates/core/src/x.rs", good, families).is_empty());
+
+        // Uppercase/dashed rule names break the derived pattern's grammar.
+        let bad = r#"fn f(s: HealthSpec) -> HealthSpec { s.rule("Bad-Name", "executor.queue_depth", Condition::GaugeAbove(4)) }"#;
+        let f = run_file("crates/core/src/x.rs", bad, families);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("grammar"));
+        assert!(f[0].message.contains("monitor.rule.Bad-Name"));
+
+        // Without the monitor.rule.* family the derived name is unregistered.
+        let f = run_file("crates/core/src/x.rs", good, &["executor.queue_depth"]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("not registered"));
+        assert!(f[0].message.contains("health-rule"));
+
+        // Dynamic rule names are skipped, like dynamic metric names.
+        let dynamic = r#"fn f(s: HealthSpec, n: &str) -> HealthSpec { s.rule(n, "executor.queue_depth", Condition::GaugeAbove(4)) }"#;
+        assert!(run_file("crates/core/src/x.rs", dynamic, &[]).is_empty());
+
+        // A non-call `rule` field or `fn rule` definition is not a use site.
+        let not_calls = r#"
+struct S { rule: String }
+impl S {
+    fn rule(self, name: &str) -> S { self }
+}
+fn g(s: &S) -> &str { &s.rule }
+"#;
+        assert!(run_file("crates/core/src/x.rs", not_calls, &[]).is_empty());
+    }
+
+    #[test]
+    fn health_rule_usage_satisfies_registered_family() {
+        let emitting = source_file(
+            "crates/core/src/x.rs",
+            r#"fn f(s: HealthSpec) -> HealthSpec { s.rule("no_progress", "executor.items_completed", Condition::StallFor(8)) }"#,
+        );
+        let ws = ws_with(vec![emitting], &["monitor.rule.*"]);
         let mut out = Vec::new();
         check_workspace(&ws, &mut out);
         assert!(out.is_empty(), "{out:?}");

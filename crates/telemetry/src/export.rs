@@ -6,7 +6,8 @@
 //! ```json
 //! {
 //!   "counters":   {"io.shard.bytes_in": 123},
-//!   "gauges":     {"io.prefetch.reorder_depth": {"value": 0, "max": 3}},
+//!   "gauges":     {"io.prefetch.reorder_depth": {"value": 0, "min": 0,
+//!                  "max": 3}},
 //!   "histograms": {"io.sink.fsync_ns": {"count": 2, "sum": 900, "min": 400,
 //!                  "max": 500, "mean": 450.0, "p50": 448, "p90": 500,
 //!                  "p99": 500, "buckets": [[8, 2]]}},
@@ -109,7 +110,15 @@ pub fn to_json(snap: &Snapshot) -> String {
     let gauges: Vec<String> = snap
         .gauges
         .iter()
-        .map(|(k, (v, m))| format!("\"{}\":{{\"value\":{},\"max\":{}}}", escape_json(k), v, m))
+        .map(|(k, g)| {
+            format!(
+                "\"{}\":{{\"value\":{},\"min\":{},\"max\":{}}}",
+                escape_json(k),
+                g.value,
+                g.min,
+                g.max
+            )
+        })
         .collect();
     let histograms: Vec<String> = snap
         .histograms
@@ -138,13 +147,14 @@ pub fn to_jsonl(snap: &Snapshot) -> String {
             v
         );
     }
-    for (k, (v, m)) in &snap.gauges {
+    for (k, g) in &snap.gauges {
         let _ = writeln!(
             out,
-            "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{},\"max\":{}}}",
+            "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{},\"min\":{},\"max\":{}}}",
             escape_json(k),
-            v,
-            m
+            g.value,
+            g.min,
+            g.max
         );
     }
     for (k, h) in &snap.histograms {
@@ -215,7 +225,7 @@ mod tests {
     fn json_has_all_sections_and_values() {
         let json = sample_snapshot().to_json();
         assert!(json.contains("\"a.count\":7"));
-        assert!(json.contains("\"b.depth\":{\"value\":2,\"max\":4}"));
+        assert!(json.contains("\"b.depth\":{\"value\":2,\"min\":0,\"max\":4}"));
         assert!(json.contains("\"c.ns\":{\"count\":2,\"sum\":400"));
         assert!(json.contains("\"name\":\"stage.one\""));
         assert!(json.contains("\"items\":5"));

@@ -43,8 +43,15 @@
 //! shard,codec,sink}.*` from drai-io; `io.{fault,retry}.*` from the
 //! fault/retry layer; `domain.*` from drai-domains; `cache.*` from the
 //! drai-cache stage-result cache; `bench.*` from the
-//! `drai-bench-report` binary; `*.ns` is the histogram every [`Span`]
+//! `drai-bench-report` binary; `monitor.*` from the [`monitor`]
+//! sampler's health layer; `*.ns` is the histogram every [`Span`]
 //! records on drop.
+//!
+//! The [`monitor`] module adds the *live* view: a background sampler
+//! on an injectable clock that turns the registry into bounded
+//! ring-buffer time series (deltas, rates, gauge window watermarks),
+//! evaluates declarative health rules per sample, and diagnoses
+//! streaming-executor backpressure post-run.
 //!
 //! ```
 //! use drai_telemetry::Registry;
@@ -75,6 +82,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 
 pub mod export;
+pub mod monitor;
 pub mod trace;
 
 pub use export::write_criterion_estimates;
@@ -101,11 +109,19 @@ pub const METRIC_FAMILIES: &[&str] = &[
     "pipeline.*.*.retries",
     "pipeline.*.*.item_ns",
     "pipeline.*.refinements",
-    // drai-core streaming executor (gauge, histogram, counter, gauge)
+    // drai-core streaming executor (gauge, histogram, counter, gauge,
+    // counter)
     "executor.queue_depth",
     "executor.stall_ns",
     "executor.shortcircuits",
     "executor.*.*.inflight",
+    "executor.items_completed",
+    // drai-telemetry monitor sampler: one count per sample tick, one
+    // per health violation, and a per-rule breakdown (rule names are
+    // single segments supplied to HealthSpec::rule)
+    "monitor.samples",
+    "monitor.health.violations",
+    "monitor.rule.*",
     // drai-io prefetch workers
     "io.prefetch.items",
     "io.prefetch.work_ns",
@@ -229,25 +245,58 @@ impl Counter {
 }
 
 /// Instantaneous signed level (queue depths, in-flight work).
+///
+/// Alongside the lifetime high/low watermarks, a gauge keeps a second
+/// pair of *window* watermarks that the monitor sampler drains with
+/// [`Gauge::take_window`]: between two samples the gauge may spike and
+/// fall back, and the last-written value alone would hide the
+/// excursion entirely.
+///
+/// All watermarks start at the initial level 0, matching the
+/// semantics of a freshly created gauge.
 #[derive(Debug, Default)]
 pub struct Gauge {
     value: AtomicI64,
     max_seen: AtomicI64,
+    min_seen: AtomicI64,
+    win_max: AtomicI64,
+    win_min: AtomicI64,
+}
+
+/// One sampling window of a gauge, drained by [`Gauge::take_window`]:
+/// the level at sample time plus the lowest and highest levels touched
+/// since the previous sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeWindow {
+    /// Level at sample time.
+    pub value: i64,
+    /// Lowest level touched during the window (`<= value`).
+    pub lo: i64,
+    /// Highest level touched during the window (`>= value`).
+    pub hi: i64,
 }
 
 impl Gauge {
+    #[inline]
+    fn watermark(&self, v: i64) {
+        self.max_seen.fetch_max(v, Ordering::Relaxed);
+        self.min_seen.fetch_min(v, Ordering::Relaxed);
+        self.win_max.fetch_max(v, Ordering::Relaxed);
+        self.win_min.fetch_min(v, Ordering::Relaxed);
+    }
+
     /// Set the level.
     #[inline]
     pub fn set(&self, v: i64) {
         self.value.store(v, Ordering::Relaxed);
-        self.max_seen.fetch_max(v, Ordering::Relaxed);
+        self.watermark(v);
     }
 
     /// Adjust the level by `delta` and return the new value.
     #[inline]
     pub fn add(&self, delta: i64) -> i64 {
         let new = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
-        self.max_seen.fetch_max(new, Ordering::Relaxed);
+        self.watermark(new);
         new
     }
 
@@ -259,6 +308,26 @@ impl Gauge {
     /// High-water mark since creation/reset.
     pub fn max(&self) -> i64 {
         self.max_seen.load(Ordering::Relaxed)
+    }
+
+    /// Low-water mark since creation/reset (0 until the level first
+    /// drops below its initial 0).
+    pub fn min(&self) -> i64 {
+        self.min_seen.load(Ordering::Relaxed)
+    }
+
+    /// Drain the current sampling window: return the level plus the
+    /// low/high watermarks touched since the previous `take_window`
+    /// (or creation), then restart the window at the current level.
+    ///
+    /// Concurrent updates racing the drain land in one window or the
+    /// other, never nowhere; the returned `lo`/`hi` always bracket
+    /// `value`.
+    pub fn take_window(&self) -> GaugeWindow {
+        let value = self.value.load(Ordering::Relaxed);
+        let hi = self.win_max.swap(value, Ordering::Relaxed).max(value);
+        let lo = self.win_min.swap(value, Ordering::Relaxed).min(value);
+        GaugeWindow { value, lo, hi }
     }
 
     /// RAII increment: `+1` now, `-1` when the guard drops. The only
@@ -640,13 +709,25 @@ impl Drop for Span {
     }
 }
 
+/// Frozen statistics of one gauge: the level at snapshot time plus the
+/// lifetime low/high watermarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaugeStat {
+    /// Level at snapshot time.
+    pub value: i64,
+    /// Lifetime low-water mark.
+    pub min: i64,
+    /// Lifetime high-water mark.
+    pub max: i64,
+}
+
 /// Frozen copy of a registry's state, ready for export.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
     /// Counter name → value.
     pub counters: BTreeMap<String, u64>,
-    /// Gauge name → (current, high-water mark).
-    pub gauges: BTreeMap<String, (i64, i64)>,
+    /// Gauge name → level and lifetime watermarks.
+    pub gauges: BTreeMap<String, GaugeStat>,
     /// Histogram name → summary.
     pub histograms: BTreeMap<String, HistogramSummary>,
     /// Completed spans in completion order.
@@ -841,7 +922,16 @@ impl Registry {
                 .gauges
                 .read()
                 .iter()
-                .map(|(k, v)| (k.clone(), (v.get(), v.max())))
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        GaugeStat {
+                            value: v.get(),
+                            min: v.min(),
+                            max: v.max(),
+                        },
+                    )
+                })
                 .collect(),
             histograms: self
                 .inner
@@ -867,6 +957,43 @@ impl Registry {
                 .collect(),
             spans: self.inner.spans.lock().clone(),
         }
+    }
+
+    /// Current value of every counter, in name order. A cheap read for
+    /// the [`monitor`] sampler: no histogram summarisation, no span
+    /// cloning, just one pass under the counter read lock.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.inner
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// `(count, sum)` of every histogram, in name order. Like
+    /// [`Registry::counter_values`], skips the per-bucket summary work
+    /// a full snapshot does.
+    pub fn histogram_totals(&self) -> Vec<(String, (u64, u64))> {
+        self.inner
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), (v.count(), v.sum())))
+            .collect()
+    }
+
+    /// Drain the sampling window of every gauge (see
+    /// [`Gauge::take_window`]), in name order. Destructive: each call
+    /// restarts every gauge's window watermarks at its current level,
+    /// so only one sampler should drain a registry.
+    pub fn take_gauge_windows(&self) -> Vec<(String, GaugeWindow)> {
+        self.inner
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.take_window()))
+            .collect()
     }
 
     /// Drop every metric and span. Handed-out `Arc`s keep working but
@@ -895,6 +1022,44 @@ mod tests {
         g.add(-2);
         assert_eq!(g.get(), 3);
         assert_eq!(g.max(), 5);
+        assert_eq!(g.min(), 0, "initial level 0 is the low-water mark");
+        g.add(-7);
+        assert_eq!(g.min(), -4);
+        assert_eq!(g.max(), 5);
+    }
+
+    #[test]
+    fn gauge_window_watermarks_drain_and_restart() {
+        let g = Gauge::default();
+        g.set(5);
+        g.set(-3);
+        g.set(2);
+        // First window saw the full excursion [-3, 5] and ends at 2.
+        assert_eq!(
+            g.take_window(),
+            GaugeWindow {
+                value: 2,
+                lo: -3,
+                hi: 5
+            }
+        );
+        // A quiet window collapses to the current level...
+        assert_eq!(
+            g.take_window(),
+            GaugeWindow {
+                value: 2,
+                lo: 2,
+                hi: 2
+            }
+        );
+        // ...while lifetime watermarks keep the full history.
+        assert_eq!(g.min(), -3);
+        assert_eq!(g.max(), 5);
+        // A spike-and-return inside one window is still captured.
+        g.add(10);
+        g.add(-10);
+        let w = g.take_window();
+        assert_eq!((w.value, w.hi), (2, 12));
     }
 
     #[test]
@@ -920,6 +1085,28 @@ mod tests {
         assert_eq!(g.get(), 0);
         assert!(g.max() >= 1000, "max {} lost updates", g.max());
         assert!(g.max() <= 8000, "max {} overcounted", g.max());
+        // The level never went below its initial 0.
+        assert_eq!(g.min(), 0);
+        // The window watermarks saw the same excursion: draining the
+        // window after the ramps reports the same exact bounds, and
+        // the next window restarts at the settled level.
+        let w = g.take_window();
+        assert_eq!(w.value, 0);
+        assert_eq!(w.lo, 0);
+        assert!((1000..=8000).contains(&w.hi), "window hi {}", w.hi);
+        assert_eq!(
+            g.take_window(),
+            GaugeWindow {
+                value: 0,
+                lo: 0,
+                hi: 0
+            },
+            "drained window must restart at the current level"
+        );
+        // Snapshot exposes the same watermarks.
+        let stat = reg.snapshot().gauges["inflight"];
+        assert_eq!((stat.value, stat.min), (0, 0));
+        assert!(stat.max >= 1000);
     }
 
     #[test]

@@ -13,7 +13,10 @@ Two modes:
       script's directory) and print the cross-PR trajectory: one row
       per bench per report, sorted by PR number then bench name, with
       the wall-time delta against the same bench in the previous
-      comparable (same-mode) report.
+      comparable (same-mode) report. When a MONITOR_<n>.jsonl artifact
+      (drai-monitor/v1, written by `drai-bench-report --monitor`) sits
+      next to a BENCH_<n>.json, a second table summarizes its time
+      series; missing or unreadable monitor artifacts are tolerated.
 """
 import json
 import os
@@ -81,15 +84,80 @@ def load_reports(root: str):
     return reports
 
 
+def load_monitor(path: str):
+    """Parse a drai-monitor/v1 JSONL artifact; None when unusable."""
+    try:
+        with open(path) as f:
+            lines = [json.loads(ln) for ln in f if ln.strip()]
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"warning: skipping {os.path.basename(path)}: {e}", file=sys.stderr)
+        return None
+    if not lines or lines[0].get("format") != "drai-monitor/v1":
+        print(
+            f"warning: skipping {os.path.basename(path)}: unknown format",
+            file=sys.stderr,
+        )
+        return None
+    header = lines[0]
+    series = {}  # metric -> {"kind": ..., "points": [...]}
+    for doc in lines[1:]:
+        kind = doc.get("kind")
+        if kind == "series":
+            series[doc["metric"]] = {"kind": doc.get("metric_kind", "?"), "points": []}
+        elif kind == "point" and doc.get("metric") in series:
+            series[doc["metric"]]["points"].append(doc)
+    return {
+        "ticks": header.get("ticks", 0),
+        "events": header.get("events", 0),
+        "series": series,
+    }
+
+
+def monitor_summary(pr: int, mon: dict) -> None:
+    """Print the per-series summary table for one monitor artifact."""
+    print()
+    print(
+        f"monitor (PR {pr}): {mon['ticks']} samples, "
+        f"{len(mon['series'])} series, {mon['events']} health events"
+    )
+    print("| metric | kind | points | last | peak hi | mean rate |")
+    print("|---|---|---|---|---|---|")
+    for metric in sorted(mon["series"]):
+        s = mon["series"][metric]
+        pts = s["points"]
+        if not pts:
+            continue
+        peak = max(p.get("hi", 0.0) for p in pts)
+        rates = [p.get("rate", 0.0) for p in pts]
+        mean_rate = sum(rates) / len(rates) if rates else 0.0
+        print(
+            f"| {metric} | {s['kind']} | {len(pts)} "
+            f"| {pts[-1].get('value', 0.0):g} | {peak:g} | {mean_rate:.1f}/s |"
+        )
+
+
+def monitor_paths(root: str):
+    """All MONITOR_<n>.jsonl artifacts under root, sorted by PR."""
+    found = []
+    for name in os.listdir(root):
+        m = re.fullmatch(r"MONITOR_(\d+)\.jsonl", name)
+        if m:
+            found.append((int(m.group(1)), os.path.join(root, name)))
+    found.sort(key=lambda t: t[0])
+    return found
+
+
 def bench_reports_mode(root: str) -> None:
     reports = load_reports(root)
-    if not reports:
-        print(f"no BENCH_<n>.json files under {root}", file=sys.stderr)
+    monitors = monitor_paths(root)
+    if not reports and not monitors:
+        print(f"no BENCH_<n>.json or MONITOR_<n>.jsonl files under {root}", file=sys.stderr)
         sys.exit(1)
     # prev[(mode, bench)] -> wall_ns of the latest earlier report.
     prev = {}
-    print("| PR | bench | wall | items/s | bytes/s | top stage (self) | vs prev |")
-    print("|---|---|---|---|---|---|---|")
+    if reports:
+        print("| PR | bench | wall | items/s | bytes/s | top stage (self) | vs prev |")
+        print("|---|---|---|---|---|---|---|")
     for pr, doc in reports:
         mode = doc.get("mode", "full")
         for bench in doc.get("benches", []):
@@ -114,6 +182,10 @@ def bench_reports_mode(root: str) -> None:
                 f"| {fmt_rate(bench.get('bytes_per_s', 0.0), 'B')} "
                 f"| {top_txt} | {delta_txt} |"
             )
+    for pr, mon_path in monitors:
+        mon = load_monitor(mon_path)
+        if mon is not None:
+            monitor_summary(pr, mon)
 
 
 def main() -> None:
