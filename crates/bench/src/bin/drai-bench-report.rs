@@ -32,7 +32,7 @@
 //! diagnosis.
 
 use drai_bench::report::{
-    compare, delta_table, find_baseline, BenchResult, Report, DEFAULT_THRESHOLD,
+    compare, delta_table, find_baseline, next_pr, BenchResult, Report, DEFAULT_THRESHOLD,
 };
 use drai_bench::{mask_bytes, records, science_f32, tabular, timestamps_u64};
 use drai_cache::StageCache;
@@ -47,6 +47,11 @@ use drai_io::codec::{codec_for, CodecId};
 use drai_io::shard::{ShardReader, ShardSpec, ShardWriter};
 use drai_io::sink::{MemSink, StorageSink};
 use drai_provenance::Ledger;
+use drai_sched::{
+    scheduler_health_spec, JobOutcome, JobOutput, JobSpec, Priority, Rejected, Scheduler,
+    SchedulerConfig, TenantConfig,
+};
+use drai_telemetry::monitor::ManualClock;
 use drai_telemetry::trace::{critical_path_summary, to_chrome_json, to_folded};
 use drai_telemetry::{Registry, TraceContext};
 use drai_tensor::LatLonGrid;
@@ -344,6 +349,124 @@ fn bench_stream_rayon(st: &StreamBenchState) -> Result<(), String> {
     Ok(())
 }
 
+/// A unit-cost scheduler job doing a small fixed slab of real work, so
+/// the `sched.job.<tenant>` spans carry nonzero self time.
+fn sched_work_job(tenant: &str, iters: usize) -> JobSpec {
+    JobSpec::new(tenant, "bench_work", 1, move |_ctx| {
+        let mut acc = 0.0f64;
+        for k in 0..iters {
+            acc += (k as f64 * 0.001).sin();
+        }
+        Ok(JobOutput {
+            items: 1,
+            detail: format!("acc={acc:.3}"),
+        })
+    })
+}
+
+/// Two equal-weight tenants, one job stream each, dispatched by the
+/// deficit-round-robin loop on a manual clock: measures pure scheduler
+/// overhead plus the per-job span plumbing. The fairness property
+/// itself (±1 at every step) is asserted by `tests/sched.rs`; here the
+/// bench just keeps the dispatch loop honest under load.
+fn bench_sched_fairness(sz: &Sizes) -> Result<(), String> {
+    let sched = Scheduler::with_clock(
+        SchedulerConfig {
+            max_inflight_cost: 1,
+            ..SchedulerConfig::default()
+        },
+        Arc::new(ManualClock::new()),
+    );
+    sched.register_tenant(TenantConfig::new("alpha"));
+    sched.register_tenant(TenantConfig::new("beta"));
+    let jobs_per_tenant = sz.members * 8;
+    let mut handles = Vec::new();
+    for _ in 0..jobs_per_tenant {
+        for tenant in ["alpha", "beta"] {
+            handles.push(
+                sched
+                    .submit(sched_work_job(tenant, 20_000))
+                    .map_err(|e| format!("{e}"))?,
+            );
+        }
+    }
+    let transcript = sched.run_until_idle();
+    if transcript.len() != handles.len() {
+        return Err(format!(
+            "dispatched {} of {} jobs",
+            transcript.len(),
+            handles.len()
+        ));
+    }
+    for h in handles {
+        match h.wait() {
+            JobOutcome::Completed(_) => {}
+            other => return Err(format!("fairness job did not complete: {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// Three tenants slam a scheduler configured with tight queues and a
+/// low shed watermark: admission control rejects with typed errors,
+/// overload sheds lowest-priority-furthest-deadline jobs, and the
+/// bench fails if a single submission goes unaccounted for.
+fn bench_sched_overload(sz: &Sizes) -> Result<(), String> {
+    let sched = Scheduler::with_clock(
+        SchedulerConfig {
+            max_inflight_cost: 1,
+            shed_watermark: 24,
+            ..SchedulerConfig::default()
+        },
+        Arc::new(ManualClock::new()),
+    );
+    sched.register_tenant(TenantConfig::new("alpha").weight(2).max_queued(16));
+    sched.register_tenant(TenantConfig::new("beta").max_queued(16));
+    sched.register_tenant(TenantConfig::new("gamma").max_queued(8).cost_quota(64));
+    let mut submitted = 0u64;
+    let mut rejected = 0u64;
+    let mut handles = Vec::new();
+    for round in 0..sz.members * 6 {
+        for (tenant, priority) in [
+            ("alpha", Priority::Interactive),
+            ("beta", Priority::Normal),
+            ("gamma", Priority::Batch),
+        ] {
+            submitted += 1;
+            let spec = sched_work_job(tenant, 5_000)
+                .priority(priority)
+                .deadline(std::time::Duration::from_secs(60 + round as u64));
+            match sched.submit(spec) {
+                Ok(h) => handles.push(h),
+                Err(
+                    Rejected::Backpressure { .. }
+                    | Rejected::QuotaExceeded { .. }
+                    | Rejected::DeadlineInfeasible { .. },
+                ) => rejected += 1,
+            }
+        }
+    }
+    sched.run_until_idle();
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    for h in handles {
+        match h.wait() {
+            JobOutcome::Completed(_) => completed += 1,
+            JobOutcome::Shed { .. } => shed += 1,
+            other => return Err(format!("unexpected overload outcome: {other:?}")),
+        }
+    }
+    if completed + shed + rejected != submitted {
+        return Err(format!(
+            "silent drop: {completed} completed + {shed} shed + {rejected} rejected != {submitted} submitted"
+        ));
+    }
+    if rejected == 0 && shed == 0 {
+        return Err("overload bench applied no pressure (no rejections, no sheds)".into());
+    }
+    Ok(())
+}
+
 fn bench_fusion(sz: &Sizes) -> Result<(), String> {
     let cfg = fusion::FusionConfig {
         shots: sz.shots,
@@ -540,7 +663,8 @@ struct Args {
     smoke: bool,
     warn_only: bool,
     monitor: bool,
-    pr: u64,
+    /// `None` = derive from the highest committed `BENCH_<n>.json` + 1.
+    pr: Option<u64>,
     out: PathBuf,
     threshold: f64,
     compare_only: Option<(PathBuf, PathBuf)>,
@@ -551,7 +675,7 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         warn_only: false,
         monitor: false,
-        pr: 8,
+        pr: None,
         out: PathBuf::from("target/bench-report"),
         threshold: DEFAULT_THRESHOLD,
         compare_only: None,
@@ -563,10 +687,11 @@ fn parse_args() -> Result<Args, String> {
             "--warn-only" => args.warn_only = true,
             "--monitor" => args.monitor = true,
             "--pr" => {
-                args.pr = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--pr needs an integer")?
+                args.pr = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--pr needs an integer")?,
+                )
             }
             "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a path")?),
             "--threshold" => {
@@ -593,39 +718,106 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// `--monitor` mode: run the streaming climate batch under the live
-/// monitor sampler, write the `drai-monitor/v1` JSONL artifact next to
-/// where the BENCH report would land, self-check the round-trip and
-/// the presence of executor series, and print the diagnosis.
-fn run_monitor(args: &Args, sz: &Sizes, repo_root: &Path) -> Result<ExitCode, String> {
-    use drai_domains::MonitorOptions;
-    use drai_telemetry::monitor::MonitorReport;
+/// `--monitor` mode: run a two-tenant scheduler (alpha at weight 2,
+/// beta at weight 1) driving monitored streaming climate batches
+/// through the `drai_domains::service` submit helpers, under the
+/// combined executor + scheduler health rules. Writes the
+/// `drai-monitor/v1` JSONL artifact next to where the BENCH report
+/// would land, self-checks the round-trip and the presence of both
+/// `executor.*` and `sched.*` series, and prints the diagnosis
+/// (including the saturated tenant, when one is named).
+fn run_monitor(args: &Args, pr: u64, sz: &Sizes, repo_root: &Path) -> Result<ExitCode, String> {
+    use drai_core::executor::executor_health_spec;
+    use drai_domains::service;
+    use drai_telemetry::monitor::{
+        MonitorReport, ProgressTarget, Sampler, SamplerConfig, WallMonitorClock,
+    };
+    use std::time::Duration;
 
     let registry = Registry::new();
     let scope = TraceContext::root(&registry).attach();
     let cfg = climate_cache_cfg(sz);
-    let sink: Arc<dyn StorageSink> = Arc::new(MemSink::new());
-    let mon = MonitorOptions {
-        progress: !args.smoke,
-        ..MonitorOptions::default()
-    };
     let exec = ExecutorConfig::for_host();
+    let scfg = SchedulerConfig {
+        exec: exec.clone(),
+        ..SchedulerConfig::default()
+    };
+
+    // One spec, two subsystems: executor backpressure rules plus the
+    // scheduler's overload/stall rules.
+    let mut spec = executor_health_spec(&exec, 4);
+    for r in scheduler_health_spec(&scfg).rules() {
+        spec = spec.rule(&r.name, &r.metric, r.cond);
+    }
+
+    let sched = Arc::new(Scheduler::new(scfg));
+    sched.register_tenant(TenantConfig::new("alpha").weight(2));
+    sched.register_tenant(TenantConfig::new("beta"));
+
+    // Two climate-batch jobs per tenant; progress tracks ensemble
+    // members flowing through the streaming executor across all jobs.
+    let jobs_per_tenant = 2usize;
+    let total_items = (2 * jobs_per_tenant * sz.members) as u64;
+    let mut sampler = Sampler::new(
+        &registry,
+        Arc::new(WallMonitorClock::new()),
+        SamplerConfig {
+            capacity: 1024,
+            progress: Some(ProgressTarget {
+                counter: "executor.items_completed".to_string(),
+                total: total_items,
+            }),
+        },
+        spec,
+    );
+    if !args.smoke {
+        sampler = sampler.with_observer(|tick| {
+            if let Some(p) = tick.progress {
+                eprintln!("[sched-service] {}", p.render());
+            }
+        });
+    }
+    let handle = sampler.start(Duration::from_millis(5));
+
     let started = Instant::now();
-    let (run, report) = climate::run_streaming_batch_monitored(&cfg, sink, sz.members, &exec, &mon)
-        .map_err(|e| format!("{e}"))?;
+    let mut handles = Vec::new();
+    for _ in 0..jobs_per_tenant {
+        for tenant in ["alpha", "beta"] {
+            handles.push(
+                service::submit_climate_batch(
+                    &sched,
+                    tenant,
+                    &cfg,
+                    Arc::new(MemSink::new()),
+                    sz.members,
+                )
+                .map_err(|e| format!("{e}"))?,
+            );
+        }
+    }
+    let pool = sched.start_workers(2);
+    let jobs = handles.len();
+    for h in handles {
+        match h.wait() {
+            JobOutcome::Completed(_) => {}
+            other => return Err(format!("monitored job did not complete: {other:?}")),
+        }
+    }
+    sched.shutdown();
+    pool.join();
     let wall = started.elapsed();
+    let report = handle.stop();
     drop(scope);
     eprintln!(
-        "  monitored streaming batch: {} members, {} shard blobs, {:.1} ms, {} samples",
-        run.members,
-        run.shard_files.len(),
+        "  monitored scheduler run: {jobs} jobs x {} members, 2 tenants, {:.1} ms, {} samples",
+        sz.members,
         wall.as_secs_f64() * 1e3,
         report.ticks
     );
 
     let text = report.to_jsonl();
     // Self-check before writing: the artifact must parse back
-    // byte-identically and carry at least one executor series.
+    // byte-identically and carry both executor and scheduler series.
     let parsed = MonitorReport::parse_jsonl(&text)?;
     if parsed.to_jsonl() != text {
         return Err("monitor artifact did not round-trip byte-identically".into());
@@ -637,11 +829,14 @@ fn run_monitor(args: &Args, sz: &Sizes, repo_root: &Path) -> Result<ExitCode, St
     {
         return Err("monitor artifact has no executor.* series".into());
     }
+    if !parsed.series.iter().any(|s| s.name.starts_with("sched.")) {
+        return Err("monitor artifact has no sched.* series".into());
+    }
 
     let path = if args.smoke {
-        args.out.join(format!("MONITOR_{}.jsonl", args.pr))
+        args.out.join(format!("MONITOR_{pr}.jsonl"))
     } else {
-        repo_root.join(format!("MONITOR_{}.jsonl", args.pr))
+        repo_root.join(format!("MONITOR_{pr}.jsonl"))
     };
     std::fs::write(&path, &text).map_err(|e| format!("{e}"))?;
     eprintln!("wrote {}", path.display());
@@ -691,17 +886,19 @@ fn run() -> Result<ExitCode, String> {
         .nth(2)
         .ok_or("cannot locate repo root")?
         .to_path_buf();
+    // No --pr: land one past the highest committed BENCH_<n>.json.
+    let pr = args.pr.unwrap_or_else(|| next_pr(&repo_root));
 
     if args.monitor {
         std::fs::create_dir_all(&args.out).map_err(|e| format!("{e}"))?;
-        eprintln!("drai-bench-report: mode=monitor pr={}", args.pr);
-        return run_monitor(&args, &sz, &repo_root);
+        eprintln!("drai-bench-report: mode=monitor pr={pr}");
+        return run_monitor(&args, pr, &sz, &repo_root);
     }
 
     let mode = if args.smoke { "smoke" } else { "full" };
     std::fs::create_dir_all(&args.out).map_err(|e| format!("{e}"))?;
     let _ = std::fs::remove_file(args.out.join("critical_paths.txt"));
-    eprintln!("drai-bench-report: mode={mode} pr={}", args.pr);
+    eprintln!("drai-bench-report: mode={mode} pr={pr}");
 
     let cache_state = Arc::new(prepare_cache_bench(&sz)?);
     let cold_state = cache_state.clone();
@@ -738,6 +935,14 @@ fn run() -> Result<ExitCode, String> {
             Box::new(move |_: &Registry, _: &Sizes| bench_stream_rayon(&stream_rayon)),
         ),
         (
+            "sched_fairness",
+            Box::new(|_: &Registry, s: &Sizes| bench_sched_fairness(s)),
+        ),
+        (
+            "sched_overload",
+            Box::new(|_: &Registry, s: &Sizes| bench_sched_overload(s)),
+        ),
+        (
             "table1_fusion",
             Box::new(|_: &Registry, s: &Sizes| bench_fusion(s)),
         ),
@@ -761,26 +966,23 @@ fn run() -> Result<ExitCode, String> {
         results.push(run_bench(name, &sz, &args.out, f)?);
     }
     let report = Report {
-        pr: args.pr,
+        pr,
         mode: mode.to_string(),
         benches: results,
     };
 
     let json = report.to_json();
     let report_path = if args.smoke {
-        args.out.join(format!("BENCH_{}.json", args.pr))
+        args.out.join(format!("BENCH_{pr}.json"))
     } else {
-        repo_root.join(format!("BENCH_{}.json", args.pr))
+        repo_root.join(format!("BENCH_{pr}.json"))
     };
     std::fs::write(&report_path, &json).map_err(|e| format!("{e}"))?;
     eprintln!("wrote {}", report_path.display());
 
-    match find_baseline(&repo_root, args.pr) {
+    match find_baseline(&repo_root, pr) {
         None => {
-            println!(
-                "no prior BENCH_<n>.json baseline (n < {}); nothing to compare",
-                args.pr
-            );
+            println!("no prior BENCH_<n>.json baseline (n < {pr}); nothing to compare");
             Ok(ExitCode::SUCCESS)
         }
         Some((n, path)) => {

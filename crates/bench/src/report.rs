@@ -361,6 +361,14 @@ pub fn delta_table(cmp: &Comparison, threshold: f64) -> String {
     out
 }
 
+/// Default PR number for a fresh report: one past the highest
+/// committed `BENCH_<n>.json` in `dir`, or 1 when none exist — so
+/// `drai-bench-report` invoked without `--pr` lands the next
+/// trajectory point instead of overwriting a stale hard-coded one.
+pub fn next_pr(dir: &Path) -> u64 {
+    find_baseline(dir, u64::MAX).map_or(1, |(n, _)| n + 1)
+}
+
 /// Find the latest prior `BENCH_<n>.json` (largest `n < pr`) in `dir`.
 pub fn find_baseline(dir: &Path, pr: u64) -> Option<(u64, PathBuf)> {
     let mut best: Option<(u64, PathBuf)> = None;
@@ -504,6 +512,16 @@ mod tests {
         assert!(path.ends_with("BENCH_3.json"));
         assert_eq!(find_baseline(&dir, 1), None);
         assert_eq!(find_baseline(&dir, 8).unwrap().0, 7);
+        assert_eq!(next_pr(&dir), 8, "one past the highest committed report");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn next_pr_defaults_to_one_in_an_empty_dir() {
+        let dir = std::env::temp_dir().join(format!("drai-bench-nextpr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(next_pr(&dir), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -140,12 +140,19 @@ fn malformed_baseline_is_a_usage_error() {
 #[test]
 fn smoke_run_produces_report_and_trace_artifacts() {
     let dir = temp_dir("smoke");
-    let (code, text) = gate(&["--smoke", "--warn-only", "--out", dir.to_str().unwrap()]);
+    let (code, text) = gate(&[
+        "--smoke",
+        "--warn-only",
+        "--pr",
+        "8",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
     assert_eq!(code, 0, "{text}");
     let report =
         Report::parse(&std::fs::read_to_string(dir.join("BENCH_8.json")).unwrap()).unwrap();
     assert_eq!(report.mode, "smoke");
-    assert_eq!(report.benches.len(), 13);
+    assert_eq!(report.benches.len(), 15);
     for b in &report.benches {
         assert!(b.wall_ns > 0, "{} has zero wall time", b.name);
         assert!(!b.stages.is_empty(), "{} has no stages", b.name);

@@ -416,6 +416,17 @@ impl StageCache {
         }
     }
 
+    /// Whether an entry for `key` exists, without reading or verifying
+    /// its payload — an O(1) metadata probe (`StorageSink::exists`)
+    /// that moves no entry bytes and touches no hit/miss counters.
+    /// `drai-sched` cost estimators use it to shrink a job's cost by
+    /// the stages expected to short-circuit on warm cache entries; a
+    /// probe that lies (entry corrupt) only costs the job its estimate,
+    /// since `get` still quarantines and recomputes.
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.sink.exists(&key.blob_name())
+    }
+
     /// Move a corrupt entry out of the serving namespace. Best-effort:
     /// even if the quarantine copy cannot be written, the entry is
     /// deleted so it cannot be served again.
@@ -620,6 +631,21 @@ mod tests {
         assert_eq!(snap.counters["cache.hits"], 1);
         assert!(!snap.spans_named("cache.get").is_empty());
         assert!(!snap.spans_named("cache.put").is_empty());
+    }
+
+    #[test]
+    fn contains_probes_without_touching_counters() {
+        let cache = mem_cache(1 << 20);
+        let key = CacheKey::compute("s", b"in", b"");
+        let ((), snap) = with_registry(|| {
+            assert!(!cache.contains(&key));
+            cache.put(&key, b"payload", 1, 7).unwrap();
+            assert!(cache.contains(&key));
+        });
+        // The probe is metadata-only: no hit/miss accounting, no get span.
+        assert!(!snap.counters.contains_key("cache.hits"));
+        assert!(!snap.counters.contains_key("cache.misses"));
+        assert!(snap.spans_named("cache.get").is_empty());
     }
 
     #[test]

@@ -54,7 +54,7 @@ use drai_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch, TraceContex
 use parking_lot::Mutex;
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -123,6 +123,34 @@ pub fn executor_health_spec(cfg: &ExecutorConfig, nstages: usize) -> HealthSpec 
         )
 }
 
+/// Cooperative cancellation handle for a streaming run, shared between
+/// the caller (e.g. the `drai-sched` scheduler shedding a job) and the
+/// executor's feeder/workers. Firing it is a one-way latch: the feeder
+/// stops admitting new items, in-flight items drain without work, and
+/// the run returns a typed `batch cancelled` error instead of partial
+/// output — never a silent short batch.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    fired: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Latch the token. Idempotent; observable from every clone.
+    pub fn cancel(&self) {
+        self.fired.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+}
+
 /// Streaming counterpart of `Pipeline::run_batch`.
 pub trait StreamingBatchExt<T> {
     /// Run `items` through the pipeline as a pipelined chain over
@@ -134,6 +162,19 @@ pub trait StreamingBatchExt<T> {
         &self,
         items: Vec<T>,
         cfg: &ExecutorConfig,
+    ) -> Result<(Vec<T>, Vec<StageMetrics>), CoreError>;
+
+    /// [`StreamingBatchExt::run_batch_streaming`] with a cooperative
+    /// [`CancelToken`]: when the token fires mid-run the chain drains
+    /// (never deadlocks), no merged metrics are published, and the
+    /// result is a `CoreError::Stage` whose message is `batch
+    /// cancelled` — unless a stage error/panic with some input index
+    /// already decided the batch, which still wins.
+    fn run_batch_streaming_cancellable(
+        &self,
+        items: Vec<T>,
+        cfg: &ExecutorConfig,
+        cancel: &CancelToken,
     ) -> Result<(Vec<T>, Vec<StageMetrics>), CoreError>;
 }
 
@@ -215,11 +256,14 @@ struct ExecShared<'a, T> {
     stall: Arc<Histogram>,
     shortcircuits: Arc<Counter>,
     inflight: &'a [Arc<Gauge>],
+    /// External cancellation latch (a fresh, never-fired token for
+    /// plain streaming runs).
+    cancel: &'a CancelToken,
 }
 
 impl<T> ExecShared<'_, T> {
     fn cancelled(&self, idx: usize) -> bool {
-        idx >= self.error_before.load(Ordering::SeqCst)
+        self.cancel.is_cancelled() || idx >= self.error_before.load(Ordering::SeqCst)
     }
 
     fn record_incident(&self, inc: Incident) {
@@ -348,6 +392,17 @@ impl<T: Send> StreamingBatchExt<T> for Pipeline<T> {
         items: Vec<T>,
         cfg: &ExecutorConfig,
     ) -> Result<(Vec<T>, Vec<StageMetrics>), CoreError> {
+        // A fresh token never fires, so this is exactly the
+        // pre-cancellation semantics.
+        self.run_batch_streaming_cancellable(items, cfg, &CancelToken::new())
+    }
+
+    fn run_batch_streaming_cancellable(
+        &self,
+        items: Vec<T>,
+        cfg: &ExecutorConfig,
+        cancel: &CancelToken,
+    ) -> Result<(Vec<T>, Vec<StageMetrics>), CoreError> {
         let registry = Registry::current();
         let span = registry.span(format!("pipeline.{}.run_streaming", self.name));
         span.add_items(items.len() as u64);
@@ -381,6 +436,7 @@ impl<T: Send> StreamingBatchExt<T> for Pipeline<T> {
             stall: registry.histogram("executor.stall_ns"),
             shortcircuits: registry.counter("executor.shortcircuits"),
             inflight: &inflight,
+            cancel,
         };
 
         // Channel k feeds stage k; channel `nstages` is the output.
@@ -449,6 +505,15 @@ impl<T: Send> StreamingBatchExt<T> for Pipeline<T> {
                     return Err(CoreError::Stage { stage, message })
                 }
             }
+        }
+        // A cancelled batch drains to here without an incident but with
+        // missing slots; surface the typed cancellation rather than the
+        // "item lost" invariant error (checked first, since both hold).
+        if cancel.is_cancelled() {
+            return Err(CoreError::Stage {
+                stage: format!("{}.executor", self.name),
+                message: "batch cancelled".to_string(),
+            });
         }
         let mut outputs = Vec::with_capacity(n);
         for slot in slots {
@@ -713,6 +778,181 @@ mod tests {
         let (outputs, _) = p.run_batch_streaming((0..64).collect(), &cfg).unwrap();
         for (i, out) in outputs.iter().enumerate() {
             assert_eq!(*out, (i as u64 + 1) * 2 + 3);
+        }
+    }
+
+    /// Two-stage pipeline whose memo stage hits its fast path on
+    /// multiples of 3; `slow_calls` counts channel-hop executions of
+    /// the slow closure.
+    fn memo_pipeline(slow_calls: Arc<AtomicU64>) -> Pipeline<u64> {
+        Pipeline::builder("exec-degen")
+            .stage("first", S::Ingest, |x, c| {
+                c.records = 1;
+                Ok(x)
+            })
+            .stage_with_fast_path(
+                "memo",
+                S::Transform,
+                |x, c| {
+                    if x % 3 == 0 {
+                        c.records = 1;
+                        FastPath::Hit(x + 100)
+                    } else {
+                        FastPath::Miss(x)
+                    }
+                },
+                move |x, c| {
+                    slow_calls.fetch_add(1, Ordering::SeqCst);
+                    c.records = 1;
+                    Ok(x + 100)
+                },
+            )
+            .build()
+    }
+
+    #[test]
+    fn fast_path_accounting_agrees_with_run_batch_under_degenerate_configs() {
+        let items: Vec<u64> = (0..30).collect();
+        let hits = items.iter().filter(|x| *x % 3 == 0).count() as u64;
+
+        // Baseline: run_batch probes the same fast paths (no channels,
+        // so no shortcircuit counter) — pin its slow-call count.
+        let batch_slow = Arc::new(AtomicU64::new(0));
+        let (batch_out, batch_m) = memo_pipeline(batch_slow.clone())
+            .run_batch(items.clone())
+            .unwrap();
+        assert_eq!(batch_slow.load(Ordering::SeqCst), 30 - hits);
+
+        for cfg in [
+            ExecutorConfig {
+                channel_capacity: 1,
+                workers_per_stage: 1,
+            },
+            ExecutorConfig {
+                channel_capacity: 1,
+                workers_per_stage: 4,
+            },
+            ExecutorConfig {
+                channel_capacity: 16,
+                workers_per_stage: 1,
+            },
+            ExecutorConfig::default(),
+        ] {
+            let slow = Arc::new(AtomicU64::new(0));
+            let p = memo_pipeline(slow.clone());
+            let ((outputs, metrics), snap) =
+                in_registry(|| p.run_batch_streaming(items.clone(), &cfg).unwrap());
+            assert_eq!(outputs, batch_out, "outputs diverge under {cfg:?}");
+            // Channel hops into the memo stage = slow-path executions;
+            // together with shortcircuits they cover every item exactly
+            // once, and both agree with run_batch.
+            assert_eq!(
+                slow.load(Ordering::SeqCst),
+                batch_slow.load(Ordering::SeqCst),
+                "slow-path hop count diverges under {cfg:?}"
+            );
+            assert_eq!(snap.counters["executor.shortcircuits"], hits);
+            assert_eq!(
+                slow.load(Ordering::SeqCst) + snap.counters["executor.shortcircuits"],
+                30
+            );
+            assert_eq!(metrics[1].throughput.records, batch_m[1].throughput.records);
+        }
+    }
+
+    #[test]
+    fn degenerate_empty_batch_has_no_shortcircuits() {
+        let slow = Arc::new(AtomicU64::new(0));
+        let p = memo_pipeline(slow.clone());
+        let cfg = ExecutorConfig {
+            channel_capacity: 1,
+            workers_per_stage: 1,
+        };
+        let ((outputs, metrics), snap) =
+            in_registry(|| p.run_batch_streaming(Vec::new(), &cfg).unwrap());
+        assert!(outputs.is_empty());
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics[0].throughput.records, 0);
+        assert_eq!(slow.load(Ordering::SeqCst), 0);
+        assert!(!snap.counters.contains_key("executor.shortcircuits"));
+        assert!(!snap.counters.contains_key("executor.items_completed"));
+    }
+
+    #[test]
+    fn prefired_cancel_token_yields_typed_cancellation() {
+        let p = chain3();
+        let token = CancelToken::new();
+        token.cancel();
+        match p.run_batch_streaming_cancellable(
+            (0..16).collect(),
+            &ExecutorConfig::default(),
+            &token,
+        ) {
+            Err(CoreError::Stage { stage, message }) => {
+                assert_eq!(stage, "exec.executor");
+                assert_eq!(message, "batch cancelled");
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_drains_without_deadlock_or_metrics() {
+        let token = CancelToken::new();
+        let trigger = token.clone();
+        let p: Pipeline<u64> = Pipeline::builder("exec-cancel")
+            .stage("work", S::Transform, move |x, c| {
+                if x == 5 {
+                    trigger.cancel();
+                }
+                c.records = 1;
+                Ok(x)
+            })
+            .build();
+        let cfg = ExecutorConfig {
+            channel_capacity: 1,
+            workers_per_stage: 1,
+        };
+        let (result, snap) =
+            in_registry(|| p.run_batch_streaming_cancellable((0..256).collect(), &cfg, &token));
+        match result {
+            Err(CoreError::Stage { stage, message }) => {
+                assert_eq!(stage, "exec-cancel.executor");
+                assert_eq!(message, "batch cancelled");
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        // Cancelled batches publish no merged per-stage metrics, like
+        // any other failed batch.
+        assert!(!snap
+            .counters
+            .contains_key("pipeline.exec-cancel.work.records"));
+    }
+
+    #[test]
+    fn stage_error_beats_concurrent_cancellation() {
+        let token = CancelToken::new();
+        let trigger = token.clone();
+        let p: Pipeline<u64> = Pipeline::builder("exec-race")
+            .stage("work", S::Transform, move |x, _| {
+                if x == 3 {
+                    trigger.cancel();
+                    Err("item 3 failed".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .build();
+        match p.run_batch_streaming_cancellable(
+            (0..32).collect(),
+            &ExecutorConfig::default(),
+            &token,
+        ) {
+            Err(CoreError::Stage { stage, message }) => {
+                assert_eq!(stage, "work");
+                assert_eq!(message, "item 3 failed");
+            }
+            other => panic!("expected the stage error, got {other:?}"),
         }
     }
 }

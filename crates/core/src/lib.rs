@@ -36,7 +36,7 @@ pub mod templates;
 
 pub use assess::{Assessment, ReadinessAssessor};
 pub use dataset::{DatasetManifest, Modality, VariableSpec};
-pub use executor::{ExecutorConfig, StreamingBatchExt};
+pub use executor::{CancelToken, ExecutorConfig, StreamingBatchExt};
 pub use pipeline::{FastPath, Pipeline, PipelineBuilder, PipelineRun, StageMetrics};
 pub use readiness::{MaturityMatrix, ProcessingStage, ReadinessLevel};
 pub use templates::DomainTemplate;

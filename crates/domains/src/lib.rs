@@ -25,6 +25,7 @@ pub mod cached;
 pub mod climate;
 pub mod fusion;
 pub mod materials;
+pub mod service;
 
 use drai_core::pipeline::StageMetrics;
 use drai_core::DatasetManifest;

@@ -16,8 +16,9 @@
 //! | 2 | `drai-formats`, `drai-transform`, `drai-provenance`, `drai-sim` |
 //! | 3 | `drai-core` |
 //! | 4 | `drai-cache` |
-//! | 5 | `drai-domains` |
-//! | 6 | `drai-bench`, `drai` (root package) |
+//! | 5 | `drai-sched` |
+//! | 6 | `drai-domains` |
+//! | 7 | `drai-bench`, `drai` (root package) |
 //!
 //! `[dev-dependencies]` are exempt: test-only edges cannot invert the
 //! runtime architecture (integration tests legitimately pull in upper
@@ -44,9 +45,10 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("drai-sim", 2),
     ("drai-core", 3),
     ("drai-cache", 4),
-    ("drai-domains", 5),
-    ("drai-bench", 6),
-    ("drai", 6),
+    ("drai-sched", 5),
+    ("drai-domains", 6),
+    ("drai-bench", 7),
+    ("drai", 7),
 ];
 
 fn layer_of(package: &str) -> Option<u32> {

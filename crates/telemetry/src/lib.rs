@@ -158,6 +158,27 @@ pub const METRIC_FAMILIES: &[&str] = &[
     "io.retry.attempts",
     "io.retry.backoff_ns",
     "io.retry.exhausted",
+    // drai-sched multi-tenant scheduler: admission + lifecycle
+    // counters, queue/in-flight gauges (global and per-tenant; tenant
+    // ids are sanitized to one [a-z0-9_]+ segment), wait/run
+    // histograms, and a per-tenant job span
+    "sched.submitted",
+    "sched.admitted",
+    "sched.rejected.backpressure",
+    "sched.rejected.quota",
+    "sched.rejected.deadline",
+    "sched.shed",
+    "sched.dispatched",
+    "sched.completed",
+    "sched.failed",
+    "sched.cancelled",
+    "sched.queued",
+    "sched.queued_cost",
+    "sched.inflight_cost",
+    "sched.tenant.*.queued",
+    "sched.wait_ns",
+    "sched.run_ns",
+    "sched.job.*",
     // drai-cache stage-result cache (counters + get/put spans)
     "cache.hits",
     "cache.misses",

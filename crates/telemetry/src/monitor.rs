@@ -735,6 +735,23 @@ pub struct StageLoad {
     pub windows: u64,
 }
 
+/// Queue-load summary of one scheduler tenant, from its
+/// `sched.tenant.<tenant>.queued` series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantLoad {
+    /// Sanitized tenant id.
+    pub tenant: String,
+    /// Σ of per-window queued-depth high watermarks — windows the
+    /// tenant had work waiting, weighted by how much.
+    pub queued_integral: f64,
+    /// Highest queued-depth watermark seen.
+    pub peak_queued: f64,
+    /// Windows in which the tenant had queued work.
+    pub backlogged_windows: u64,
+    /// Total windows observed.
+    pub windows: u64,
+}
+
 /// Post-run backpressure diagnosis; see [`MonitorReport::diagnose`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnosis {
@@ -755,6 +772,12 @@ pub struct Diagnosis {
     pub observed_ticks: u64,
     /// Health events recorded over the run.
     pub violations: usize,
+    /// Scheduler tenants with queued-work series, most loaded first
+    /// (empty when the run had no `sched.tenant.*.queued` series).
+    pub tenants: Vec<TenantLoad>,
+    /// The tenant driving scheduler saturation — the largest queued
+    /// integral — if any tenant showed queued work.
+    pub saturated_tenant: Option<TenantLoad>,
 }
 
 impl Diagnosis {
@@ -797,6 +820,23 @@ impl Diagnosis {
                     s.peak_inflight,
                     s.busy_windows,
                     s.windows
+                );
+            }
+        }
+        if let Some(t) = &self.saturated_tenant {
+            let _ = writeln!(
+                out,
+                "  saturated tenant: {} (queued integral {:.1}, peak {:.0}, backlogged {}/{} windows)",
+                t.tenant, t.queued_integral, t.peak_queued, t.backlogged_windows, t.windows
+            );
+        }
+        if self.tenants.len() > 1 {
+            let _ = writeln!(out, "  tenant loads:");
+            for t in &self.tenants {
+                let _ = writeln!(
+                    out,
+                    "    {}: queued integral {:.1}, peak {:.0}, backlogged {}/{}",
+                    t.tenant, t.queued_integral, t.peak_queued, t.backlogged_windows, t.windows
                 );
             }
         }
@@ -1021,6 +1061,43 @@ impl MonitorReport {
             }
         }
 
+        // Scheduler tenant load: `sched.tenant.<t>.queued` series,
+        // ranked by queued integral. The top entry names the tenant
+        // saturating the scheduler (the drai-sched counterpart of the
+        // executor bottleneck stage).
+        let mut tenants: Vec<TenantLoad> = Vec::new();
+        for s in &self.series {
+            let Some(tenant) = s
+                .name
+                .strip_prefix("sched.tenant.")
+                .and_then(|r| r.strip_suffix(".queued"))
+            else {
+                continue;
+            };
+            let mut load = TenantLoad {
+                tenant: tenant.to_string(),
+                queued_integral: 0.0,
+                peak_queued: 0.0,
+                backlogged_windows: 0,
+                windows: 0,
+            };
+            for p in s.iter() {
+                load.windows += 1;
+                load.queued_integral += p.hi.max(0.0);
+                load.peak_queued = load.peak_queued.max(p.hi);
+                if p.hi > 0.0 {
+                    load.backlogged_windows += 1;
+                }
+            }
+            tenants.push(load);
+        }
+        tenants.sort_by(|a, b| {
+            b.queued_integral
+                .total_cmp(&a.queued_integral)
+                .then_with(|| a.tenant.cmp(&b.tenant))
+        });
+        let saturated_tenant = tenants.first().filter(|t| t.queued_integral > 0.0).cloned();
+
         Diagnosis {
             bottleneck,
             stages,
@@ -1030,6 +1107,8 @@ impl MonitorReport {
             backpressure_windows: bp_windows,
             observed_ticks: self.ticks,
             violations: self.events.len(),
+            tenants,
+            saturated_tenant,
         }
     }
 }
@@ -1349,7 +1428,39 @@ mod tests {
         assert!(diag.bottleneck.is_none());
         assert_eq!(diag.total_stall_ns, 0);
         assert_eq!(diag.violations, 0);
+        assert!(diag.tenants.is_empty());
+        assert!(diag.saturated_tenant.is_none());
         assert!(diag.render().contains("bottleneck: none"));
+    }
+
+    #[test]
+    fn diagnosis_names_saturated_scheduler_tenant() {
+        let reg = Registry::new();
+        let (sampler, clock) = manual_sampler(&reg, 64, HealthSpec::new());
+        let alpha = reg.gauge("sched.tenant.alpha.queued");
+        let beta = reg.gauge("sched.tenant.beta.queued");
+        for i in 0..8u64 {
+            // alpha keeps a deep backlog every window; beta only early.
+            alpha.add(5);
+            alpha.add(-5);
+            if i < 2 {
+                beta.add(1);
+                beta.add(-1);
+            }
+            clock.advance_ns(1_000_000);
+            sampler.tick();
+        }
+        let diag = sampler.report().diagnose();
+        let sat = diag.saturated_tenant.clone().expect("alpha was backlogged");
+        assert_eq!(sat.tenant, "alpha");
+        assert_eq!(sat.backlogged_windows, 8);
+        assert_eq!(sat.peak_queued, 5.0);
+        assert_eq!(diag.tenants.len(), 2);
+        assert_eq!(diag.tenants[1].tenant, "beta");
+        assert_eq!(diag.tenants[1].backlogged_windows, 2);
+        let text = diag.render();
+        assert!(text.contains("saturated tenant: alpha"), "{text}");
+        assert!(text.contains("tenant loads:"), "{text}");
     }
 
     #[test]

@@ -13,10 +13,13 @@ Two modes:
       script's directory) and print the cross-PR trajectory: one row
       per bench per report, sorted by PR number then bench name, with
       the wall-time delta against the same bench in the previous
-      comparable (same-mode) report. When a MONITOR_<n>.jsonl artifact
-      (drai-monitor/v1, written by `drai-bench-report --monitor`) sits
-      next to a BENCH_<n>.json, a second table summarizes its time
-      series; missing or unreadable monitor artifacts are tolerated.
+      comparable (same-mode) report. Scheduler benches (`sched_*`) are
+      ordinary rows in this table. Every MONITOR_<n>.jsonl artifact
+      (drai-monitor/v1, written by `drai-bench-report --monitor`) gets
+      a second table summarizing its time series — executor.* and
+      sched.* alike — whether or not a BENCH_<n>.json for the same PR
+      exists (monitor-only PRs are annotated); missing or unreadable
+      monitor artifacts are tolerated.
 """
 import json
 import os
@@ -113,11 +116,12 @@ def load_monitor(path: str):
     }
 
 
-def monitor_summary(pr: int, mon: dict) -> None:
+def monitor_summary(pr: int, mon: dict, standalone: bool) -> None:
     """Print the per-series summary table for one monitor artifact."""
     print()
+    note = " (no matching BENCH report)" if standalone else ""
     print(
-        f"monitor (PR {pr}): {mon['ticks']} samples, "
+        f"monitor (PR {pr}){note}: {mon['ticks']} samples, "
         f"{len(mon['series'])} series, {mon['events']} health events"
     )
     print("| metric | kind | points | last | peak hi | mean rate |")
@@ -182,10 +186,11 @@ def bench_reports_mode(root: str) -> None:
                 f"| {fmt_rate(bench.get('bytes_per_s', 0.0), 'B')} "
                 f"| {top_txt} | {delta_txt} |"
             )
+    bench_prs = {pr for pr, _doc in reports}
     for pr, mon_path in monitors:
         mon = load_monitor(mon_path)
         if mon is not None:
-            monitor_summary(pr, mon)
+            monitor_summary(pr, mon, standalone=pr not in bench_prs)
 
 
 def main() -> None:

@@ -6,7 +6,8 @@
 //! preprocessing kernels (`transform`), provenance capture (`provenance`),
 //! the simulated parallel filesystem (`sim`), runtime metrics
 //! (`telemetry`), the content-addressed stage-result cache (`cache`),
-//! and the four domain archetypes (`domains`).
+//! the four domain archetypes (`domains`), and the multi-tenant job
+//! scheduler (`sched`) that runs them as a shared service.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and experiment index.
@@ -31,6 +32,7 @@ pub use drai_domains as domains;
 pub use drai_formats as formats;
 pub use drai_io as io;
 pub use drai_provenance as provenance;
+pub use drai_sched as sched;
 pub use drai_sim as sim;
 pub use drai_telemetry as telemetry;
 pub use drai_tensor as tensor;
